@@ -1,0 +1,48 @@
+"""Figure 1: the three-tier queueing-network topology.
+
+Figure 1 is a schematic; its reproduction is the topology builder itself.
+This benchmark constructs the paper's networks (three-tier with network
+queues elided, as in Section 5.1, plus the web-app variant with the shared
+network queue) and measures construction + routing throughput, printing
+the rendered topology so the figure can be compared by eye.
+"""
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.network import build_three_tier_network, paper_synthetic_structures
+from repro.webapp import build_webapp_network
+
+
+def build_all_structures():
+    networks = [
+        build_three_tier_network(10.0, servers)
+        for _, servers in paper_synthetic_structures()
+    ]
+    networks.append(build_webapp_network())
+    return networks
+
+
+def test_fig1_topology_construction(benchmark):
+    networks = benchmark(build_all_structures)
+    assert len(networks) == 6
+    print("\n=== Figure 1: three-tier web service topology (paper schematic) ===")
+    print(networks[0].describe())
+    print("\npaper: tiers of replicated servers, one queue per server;")
+    print("offered load per tier below (1-server tier heavily overloaded):")
+    rows = []
+    for (name, servers), net in zip(paper_synthetic_structures(), networks):
+        rho = net.utilizations()
+        rows.append((name, str(servers), f"{np.nanmax(rho):.2f}", f"{np.nanmin(rho):.2f}"))
+    print(render_table(["structure", "servers/tier", "max rho", "min rho"], rows))
+
+
+def test_fig1_routing_throughput(benchmark):
+    net = build_three_tier_network(10.0, (1, 2, 4))
+    rng = np.random.default_rng(0)
+
+    def sample_paths():
+        return [net.sample_path(rng) for _ in range(500)]
+
+    paths = benchmark(sample_paths)
+    assert all(len(p) == 3 for p in paths)

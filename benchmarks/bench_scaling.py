@@ -1,0 +1,79 @@
+"""Scaling: sweep cost vs latent count and vs server count.
+
+Paper Section 5.2: "the sampler scales primarily in the number of
+unobserved arrival events, not in the number of servers."  Two sweeps
+verify exactly that:
+
+* fix the observation rate, grow the task count -> cost grows linearly in
+  the number of latent variables;
+* fix the latent count, grow the number of servers per tier -> cost stays
+  flat.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.inference import GibbsSampler, heuristic_initialize
+from repro.network import build_three_tier_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+
+def sweep_cost(n_tasks: int, servers: tuple, seed: int, n_sweeps: int = 3):
+    net = build_three_tier_network(10.0, servers)
+    sim = simulate_network(net, n_tasks, random_state=seed)
+    trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=seed)
+    rates = sim.true_rates()
+    state = heuristic_initialize(trace, rates)
+    sampler = GibbsSampler(trace, state, rates, random_state=seed)
+    sampler.sweep()  # warm-up
+    t0 = time.perf_counter()
+    sampler.run(n_sweeps)
+    elapsed = (time.perf_counter() - t0) / n_sweeps
+    return trace.n_latent, elapsed
+
+
+def test_scaling_in_latent_count(benchmark):
+    sizes = (100, 200, 400, 800)
+
+    def run_sweep():
+        return [sweep_cost(n, (1, 2, 4), seed=81 + i) for i, n in enumerate(sizes)]
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (n, latent, f"{sec * 1e3:.1f}", f"{sec / latent * 1e6:.1f}")
+        for n, (latent, sec) in zip(sizes, results)
+    ]
+    print("\n=== Scaling: cost vs number of latent variables ===")
+    print(render_table(
+        ["tasks", "latent vars", "ms / sweep", "us / latent"], rows,
+        title="paper: cost scales in unobserved events",
+    ))
+    per_latent = [sec / latent for latent, sec in results]
+    # Per-latent cost roughly constant => linear scaling (allow 3x drift
+    # for cache effects at small sizes).
+    assert max(per_latent) / min(per_latent) < 3.0
+
+
+def test_scaling_in_server_count(benchmark):
+    configs = ((2, 2, 2), (4, 4, 4), (8, 8, 8), (16, 16, 16))
+
+    def run_sweep():
+        return [sweep_cost(300, servers, seed=91 + i)
+                for i, servers in enumerate(configs)]
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (str(servers), latent, f"{sec * 1e3:.1f}")
+        for servers, (latent, sec) in zip(configs, results)
+    ]
+    print("\n=== Scaling: cost vs number of servers (fixed tasks) ===")
+    print(render_table(
+        ["servers/tier", "latent vars", "ms / sweep"], rows,
+        title="paper: NOT in the number of servers",
+    ))
+    times = [sec for _, sec in results]
+    # 8x more servers must not cost anywhere near 8x more per sweep.
+    assert max(times) / min(times) < 2.5

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to reduced-scale configurations so the whole harness
+runs in minutes; set ``REPRO_FULL=1`` to run at the paper's exact scale
+(5 structures x 10 repetitions x 1000 tasks for Figure 4; 5 759 requests
+for Figure 5).  Every benchmark prints a paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether to run at the paper's full experimental scale."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def scale_label() -> str:
+    """Human-readable scale tag for printed tables."""
+    return "paper-scale" if full_scale() else "quick-scale"

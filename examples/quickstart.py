@@ -1,0 +1,68 @@
+"""Quickstart: estimate queue parameters from 10 % of a trace.
+
+Builds the paper's synthetic three-tier network (Section 5.1), simulates
+500 tasks, censors the trace so only 10 % of tasks are observed, then runs
+stochastic EM with the Gibbs sampler to recover every queue's service
+rate, the system arrival rate, and the per-queue waiting times.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    TaskSampling,
+    build_three_tier_network,
+    estimate_posterior,
+    run_stem,
+    simulate_network,
+)
+
+SEED = 42
+
+
+def main() -> None:
+    # 1. The system under study: lambda = 10, every mu = 5, tiers of
+    #    1 / 2 / 4 replicated servers (the 1-server tier is overloaded).
+    network = build_three_tier_network(
+        arrival_rate=10.0, servers_per_tier=(1, 2, 4), service_rate=5.0
+    )
+    print(network.describe())
+
+    # 2. Ground truth: what an omniscient tracer would record.
+    sim = simulate_network(network, n_tasks=500, random_state=SEED)
+    print(f"\nsimulated {sim.events.n_events} events from {sim.n_tasks} tasks")
+
+    # 3. Reality: we only afford to observe 10 % of the tasks.
+    trace = TaskSampling(fraction=0.10).observe(sim.events, random_state=SEED)
+    print(trace.summary())
+
+    # 4. Inference: StEM for the rates...
+    result = run_stem(trace, n_iterations=100, random_state=SEED)
+    # ...then the Gibbs sampler at the fixed estimate for waiting times.
+    posterior = estimate_posterior(
+        trace, rates=result.rates, n_samples=30, burn_in=15,
+        state=result.sampler.state, random_state=SEED + 1,
+    )
+
+    # 5. Compare with the ground truth the estimator never saw.
+    true_service = sim.events.mean_service_by_queue()
+    true_waiting = sim.events.mean_waiting_by_queue()
+    print(f"\narrival rate: true 10.0, estimated {result.arrival_rate:.2f}")
+    print(f"{'queue':<14}{'svc true':>10}{'svc est':>10}"
+          f"{'wait true':>11}{'wait est':>11}")
+    for q in range(1, network.n_queues):
+        print(
+            f"{network.queue_names[q]:<14}{true_service[q]:>10.3f}"
+            f"{result.mean_service_times()[q]:>10.3f}"
+            f"{true_waiting[q]:>11.3f}{posterior.waiting_mean[q]:>11.3f}"
+        )
+    median_err = np.median(
+        np.abs(result.mean_service_times()[1:] - true_service[1:])
+    )
+    print(f"\nmedian service-time error: {median_err:.3f} "
+          "(paper reports 0.033 at 5 % observation)")
+
+
+if __name__ == "__main__":
+    main()

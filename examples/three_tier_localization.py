@@ -1,0 +1,81 @@
+"""Performance-fault localization on a three-tier service.
+
+The paper's motivating application (Sections 1 and 5): from a thin trace
+sample, decide *which* component is the bottleneck and *why* — intrinsic
+slowness (service-dominated) vs overload (waiting-dominated).  This
+example injects an intrinsic fault into one database server and an
+overload into the web tier, then shows the estimator separating the two,
+and contrasts the answer with what classical steady-state analysis and
+the observed-mean baseline would say.
+
+Run:  python examples/three_tier_localization.py
+"""
+
+import numpy as np
+
+from repro import Exponential, TaskSampling, estimate_posterior, run_stem, simulate_network
+from repro.baselines import observed_mean_service, steady_state_fit
+from repro.localization import rank_bottlenecks, render_report
+from repro.network import build_three_tier_network
+from repro.network.topology import QueueingNetwork
+
+SEED = 7
+
+
+def build_faulty_network() -> QueueingNetwork:
+    """Three-tier network with one intrinsically slow database server."""
+    network = build_three_tier_network(
+        arrival_rate=9.0, servers_per_tier=(2, 2, 4), service_rate=5.0
+    )
+    services = dict(network.services)
+    # Fault injection: db-2's disk is failing -> 4x the service time.
+    services["db-2"] = Exponential(rate=1.25)
+    return QueueingNetwork(
+        queue_names=network.queue_names, services=services, fsm=network.fsm
+    )
+
+
+def main() -> None:
+    network = build_faulty_network()
+    print("ground truth: web tier moderately loaded (rho = 0.9/server),")
+    print("db-2 intrinsically 4x slower than its siblings\n")
+
+    sim = simulate_network(network, n_tasks=800, random_state=SEED)
+    trace = TaskSampling(fraction=0.10).observe(sim.events, random_state=SEED)
+    print(trace.summary(), "\n")
+
+    stem = run_stem(trace, n_iterations=120, random_state=SEED)
+    posterior = estimate_posterior(
+        trace, rates=stem.rates, n_samples=30, burn_in=15,
+        state=stem.sampler.state, random_state=SEED + 1,
+    )
+
+    ranked = rank_bottlenecks(posterior, network.queue_names)
+    print("=== bottleneck report (from 10% of the trace) ===")
+    print(render_report(ranked))
+
+    top = ranked[0]
+    print(f"\ndiagnosis: {top.name} is the worst queue and is {top.verdict}.")
+    db2 = next(d for d in ranked if d.name == "db-2")
+    print(f"db-2: service {db2.service:.3f} (true mean 0.8) -> verdict "
+          f"{db2.verdict!r}: replace the component, don't add replicas.")
+
+    # What the alternatives say.
+    print("\n=== comparison with baselines ===")
+    base = observed_mean_service(sim.events, trace)
+    steady = steady_state_fit(trace)
+    true_service = sim.events.mean_service_by_queue()
+    print(f"{'queue':<10}{'true svc':>9}{'StEM':>9}{'obs-mean':>10}{'steady-state':>14}")
+    for q in range(1, network.n_queues):
+        steady_svc = 1.0 / steady[q] if np.isfinite(steady[q]) else float("nan")
+        print(
+            f"{network.queue_names[q]:<10}{true_service[q]:>9.3f}"
+            f"{stem.mean_service_times()[q]:>9.3f}{base[q]:>10.3f}"
+            f"{steady_svc:>14.3f}"
+        )
+    print("\n(the observed-mean baseline is an oracle that reads true service")
+    print("times; the steady-state fit needs the M/M/1 formula to hold.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Diagnosing the (simulated) movie-voting web application.
+
+Reproduces the Section 5.2 workflow interactively: a haproxy-style
+balancer spreads requests over ten web servers (one starved, as the paper
+observed), with a database and a shared network queue, under a linear load
+ramp.  We observe 10 % of the requests and recover per-queue service and
+waiting estimates, flagging the starved server whose estimates the paper
+calls out as unstable.
+
+Run:  python examples/webapp_diagnosis.py
+"""
+
+import numpy as np
+
+from repro import TaskSampling, estimate_posterior, run_stem
+from repro.localization import diagnose, render_report, rank_bottlenecks
+from repro.webapp import WebAppConfig, generate_webapp_trace
+
+SEED = 2008
+
+
+def main() -> None:
+    # A reduced-scale run (the paper's 5 759 requests work too but take a
+    # few minutes; set n_requests=5759, duration=1800.0 to match exactly).
+    config = WebAppConfig(n_requests=1200, duration=400.0)
+    sim = generate_webapp_trace(config, random_state=SEED)
+    names = sim.network.queue_names
+    events_per_queue = sim.events.events_per_queue()
+    print(f"simulated {sim.events.n_events - config.n_requests} arrival events "
+          f"from {config.n_requests} requests over a {config.duration:.0f}s ramp")
+    starved = int(np.argmin(np.where(np.arange(len(names)) == 0, 1 << 30,
+                                     events_per_queue)))
+    print(f"load balancer starved {names[starved]}: "
+          f"{events_per_queue[starved]} requests "
+          "(paper saw 19 of 5759)\n")
+
+    trace = TaskSampling(fraction=0.10).observe(sim.events, random_state=SEED)
+    print(trace.summary(), "\n")
+
+    stem = run_stem(trace, n_iterations=80, random_state=SEED)
+    posterior = estimate_posterior(
+        trace, rates=stem.rates, n_samples=25, burn_in=12,
+        state=stem.sampler.state, random_state=SEED + 1,
+    )
+
+    true_service = sim.events.mean_service_by_queue()
+    print("=== per-queue estimates from 10% of requests ===")
+    print(f"{'queue':<10}{'events':>7}{'svc true':>10}{'svc est':>10}{'wait est':>10}")
+    for q in range(1, len(names)):
+        flag = "  <- starved, unstable" if q == starved else ""
+        print(
+            f"{names[q]:<10}{events_per_queue[q]:>7d}{true_service[q]:>10.3f}"
+            f"{stem.mean_service_times()[q]:>10.3f}"
+            f"{posterior.waiting_mean[q]:>10.3f}{flag}"
+        )
+
+    print("\n=== bottleneck ranking ===")
+    print(render_report(rank_bottlenecks(posterior, names), top=5))
+
+    verdicts = {d.name: d.verdict for d in diagnose(posterior, names)}
+    print(f"\nnetwork queue verdict: {verdicts['network']!r} — the shared "
+          "network queue absorbs the ramp's peak load (2 visits/request),")
+    print("so its delay is load-induced: add capacity, nothing is broken.")
+
+
+if __name__ == "__main__":
+    main()

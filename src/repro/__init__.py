@@ -1,0 +1,143 @@
+"""repro — Probabilistic Inference in Queueing Networks.
+
+A full reproduction of Sutton & Jordan, "Probabilistic Inference in
+Queueing Networks" (2008): networks of M/M/1 FIFO queues viewed as
+latent-variable probabilistic models, with a Gibbs sampler over unobserved
+arrival/departure times and stochastic EM for parameter estimation from
+incomplete traces — plus the substrates the paper relies on (a
+discrete-event network simulator, observation schemes, classical queueing
+baselines) and the performance-fault-localization application that
+motivates it.
+
+Quickstart
+----------
+>>> from repro import (
+...     build_three_tier_network, simulate_network, TaskSampling, run_stem,
+... )
+>>> net = build_three_tier_network(arrival_rate=10.0, servers_per_tier=(1, 2, 4))
+>>> sim = simulate_network(net, n_tasks=200, random_state=0)
+>>> trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=1)
+>>> result = run_stem(trace, n_iterations=50, random_state=2)
+>>> result.mean_service_times().round(2)  # doctest: +SKIP
+"""
+
+from repro.distributions import (
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    ServiceDistribution,
+    TruncatedExponential,
+    UniformService,
+)
+from repro.events import EventSet, load_jsonl, save_jsonl
+from repro.fsm import ProbabilisticFSM, TaskPath, chain_fsm, load_balanced_fsm, tiered_fsm
+from repro.inference import (
+    GibbsSampler,
+    MCEMResult,
+    PiecewiseExponential,
+    PosteriorSummary,
+    StEMResult,
+    estimate_posterior,
+    heuristic_initialize,
+    lp_initialize,
+    mle_rates,
+    run_mcem,
+    run_stem,
+)
+from repro.network import (
+    QueueingNetwork,
+    QueueSpec,
+    build_load_balanced_network,
+    build_tandem_network,
+    build_three_tier_network,
+    paper_synthetic_structures,
+)
+from repro.prediction import (
+    predict_response_curve,
+    saturation_point,
+    simulate_at_load,
+)
+from repro.observation import (
+    EventSampling,
+    ObservedTrace,
+    TaskSampling,
+    TimeWindowSampling,
+)
+from repro.simulate import (
+    LinearRampArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    RateChange,
+    SimulationResult,
+    simulate_network,
+    simulate_tasks,
+    simulate_with_faults,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distributions
+    "ServiceDistribution",
+    "Exponential",
+    "TruncatedExponential",
+    "Erlang",
+    "HyperExponential",
+    "Gamma",
+    "LogNormal",
+    "Deterministic",
+    "UniformService",
+    "Empirical",
+    # fsm
+    "ProbabilisticFSM",
+    "TaskPath",
+    "chain_fsm",
+    "tiered_fsm",
+    "load_balanced_fsm",
+    # network
+    "QueueSpec",
+    "QueueingNetwork",
+    "build_tandem_network",
+    "build_three_tier_network",
+    "build_load_balanced_network",
+    "paper_synthetic_structures",
+    # events
+    "EventSet",
+    "save_jsonl",
+    "load_jsonl",
+    # simulate
+    "simulate_network",
+    "simulate_tasks",
+    "simulate_with_faults",
+    "RateChange",
+    "SimulationResult",
+    "PoissonArrivals",
+    "LinearRampArrivals",
+    "MMPPArrivals",
+    # observation
+    "ObservedTrace",
+    "TaskSampling",
+    "EventSampling",
+    "TimeWindowSampling",
+    # inference
+    "GibbsSampler",
+    "PiecewiseExponential",
+    "run_stem",
+    "StEMResult",
+    "run_mcem",
+    "MCEMResult",
+    "estimate_posterior",
+    "PosteriorSummary",
+    "mle_rates",
+    "heuristic_initialize",
+    "lp_initialize",
+    # prediction
+    "predict_response_curve",
+    "saturation_point",
+    "simulate_at_load",
+]

@@ -1,0 +1,26 @@
+"""Baseline estimators the paper compares against (Section 5.1).
+
+* :func:`~repro.baselines.observed_mean.observed_mean_service` — the
+  paper's baseline: "the sample mean of the service time for the tasks
+  that are observed".  As the paper notes, "this comparison is unfair to
+  StEM, because the baseline uses the true service times from the observed
+  tasks, information that is not available to StEM" — it is an *oracle*
+  that reads ground-truth service times for the observed subset.
+* :func:`~repro.baselines.complete_mle.complete_data_mle` — the stronger
+  oracle that sees everything (the best any estimator could do).
+* :func:`~repro.baselines.steady_state.steady_state_fit` — what classical
+  queueing theory would do: fit ``mu`` by inverting the M/M/1 response-time
+  formula on observed responses (only defined for stable queues; the
+  contrast the paper's Section 1 critique draws).
+"""
+
+from repro.baselines.complete_mle import complete_data_mle
+from repro.baselines.observed_mean import observed_mean_service, observed_mean_waiting
+from repro.baselines.steady_state import steady_state_fit
+
+__all__ = [
+    "observed_mean_service",
+    "observed_mean_waiting",
+    "complete_data_mle",
+    "steady_state_fit",
+]

@@ -1,0 +1,70 @@
+"""Classical steady-state fitting — what pre-paper practice would do.
+
+Given observed per-queue responses, invert the M/M/1 sojourn formula
+``E[R] = 1 / (mu - lambda_q)`` to get ``mu = lambda_q + 1 / mean(R)``.
+This requires (a) believing the steady-state model and (b) a stable queue;
+on the paper's overloaded tiers the formula produces garbage or no answer
+at all, which is precisely the critique of Section 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.observation import ObservedTrace
+
+
+def steady_state_fit(
+    trace: ObservedTrace, arrival_rates: np.ndarray | None = None
+) -> np.ndarray:
+    """Fit per-queue service rates by inverting the M/M/1 response formula.
+
+    Parameters
+    ----------
+    trace:
+        Observed trace; only events with observed arrival and pinned
+        departure contribute responses.
+    arrival_rates:
+        Per-queue arrival rates ``lambda_q``; estimated from observed
+        per-queue event counts and the observed time span when omitted.
+
+    Returns
+    -------
+    numpy.ndarray
+        Estimated rates (index 0 = system arrival rate); ``nan`` where no
+        responses were observed.  No stability check is applied — for an
+        overloaded queue the estimate is meaningless by construction, which
+        is the point of the comparison.
+    """
+    skeleton = trace.skeleton
+    n_queues = skeleton.n_queues
+    responses: list[list[float]] = [[] for _ in range(n_queues)]
+    observed_times: list[float] = []
+    for e in range(skeleton.n_events):
+        if not trace.arrival_observed[e] or skeleton.seq[e] == 0:
+            continue
+        observed_times.append(float(skeleton.arrival[e]))
+        if not trace.departure_is_fixed(e):
+            continue
+        q = int(skeleton.queue[e])
+        responses[q].append(float(skeleton.departure[e] - skeleton.arrival[e]))
+    if arrival_rates is None:
+        # The observed arrivals are a uniform subsample, so their span is a
+        # good proxy for the full trace span; the *total* per-queue event
+        # counts are known exactly from the skeleton (event counters).
+        arrival_rates = np.zeros(n_queues)
+        if len(observed_times) >= 2:
+            span = max(observed_times) - min(observed_times)
+            for q in range(1, n_queues):
+                total_at_q = skeleton.queue_order(q).size
+                arrival_rates[q] = total_at_q / max(span, 1e-12)
+    rates = np.full(n_queues, np.nan)
+    for q in range(1, n_queues):
+        if not responses[q]:
+            continue
+        mean_r = float(np.mean(responses[q]))
+        rates[q] = arrival_rates[q] + 1.0 / max(mean_r, 1e-12)
+    if len(observed_times) >= 2:
+        span = max(observed_times) - min(observed_times)
+        rates[0] = max(skeleton.n_tasks - 1, 1) / max(span, 1e-12)
+    return rates

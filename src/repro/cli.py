@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro`` or ``repro-queueing``.
+
+Subcommands
+-----------
+simulate
+    Simulate a built-in topology and write the ground-truth trace as JSONL.
+infer
+    Load a trace, censor it to a task-sampled observation rate, run StEM +
+    Gibbs, and print parameter estimates plus a bottleneck report.
+experiment
+    Run a reduced-scale version of one of the paper's experiments
+    (fig4 / fig5 / variance) and print the result tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.events import load_jsonl, save_jsonl
+from repro.experiments import (
+    quick_fig4_config,
+    quick_fig5_config,
+    run_fig4,
+    run_fig5,
+    run_variance_comparison,
+    render_table,
+)
+from repro.inference import estimate_posterior, run_stem
+from repro.localization import rank_bottlenecks, render_report
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+from repro.webapp import WebAppConfig, generate_webapp_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-queueing",
+        description="Probabilistic inference in queueing networks (Sutton & Jordan 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a topology to a JSONL trace")
+    sim.add_argument(
+        "--topology",
+        choices=["three-tier", "tandem", "webapp"],
+        default="three-tier",
+    )
+    sim.add_argument("--tasks", type=int, default=1000)
+    sim.add_argument("--arrival-rate", type=float, default=10.0)
+    sim.add_argument("--service-rate", type=float, default=5.0)
+    sim.add_argument(
+        "--servers", type=int, nargs="+", default=[1, 2, 4],
+        help="servers per tier (three-tier) or station count (tandem)",
+    )
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--out", required=True, help="output JSONL path")
+
+    inf = sub.add_parser("infer", help="run StEM + Gibbs on a censored trace")
+    inf.add_argument("trace", help="JSONL trace written by `simulate`")
+    inf.add_argument("--observe", type=float, default=0.1, help="observed task fraction")
+    inf.add_argument("--iterations", type=int, default=100)
+    inf.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
+    exp.add_argument("which", choices=["fig4", "fig5", "variance"])
+    exp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.topology == "three-tier":
+        network = build_three_tier_network(
+            arrival_rate=args.arrival_rate,
+            servers_per_tier=tuple(args.servers),
+            service_rate=args.service_rate,
+        )
+        sim = simulate_network(network, args.tasks, random_state=args.seed)
+    elif args.topology == "tandem":
+        network = build_tandem_network(
+            arrival_rate=args.arrival_rate,
+            service_rates=[args.service_rate] * len(args.servers),
+        )
+        sim = simulate_network(network, args.tasks, random_state=args.seed)
+    else:
+        sim = generate_webapp_trace(
+            WebAppConfig(n_requests=args.tasks), random_state=args.seed
+        )
+    save_jsonl(sim.events, args.out)
+    print(f"wrote {sim.events.n_events} events ({sim.events.n_tasks} tasks) to {args.out}")
+    print(sim.network.describe())
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    events = load_jsonl(args.trace)
+    trace = TaskSampling(fraction=args.observe).observe(events, random_state=args.seed)
+    print(trace.summary())
+    stem = run_stem(
+        trace, n_iterations=args.iterations, random_state=args.seed,
+        init_method="heuristic",
+    )
+    posterior = estimate_posterior(
+        trace, rates=stem.rates, n_samples=25, burn_in=10,
+        state=stem.sampler.state, random_state=args.seed + 1,
+    )
+    print(f"\nestimated arrival rate lambda = {stem.arrival_rate:.4g}")
+    rows = [
+        (q, f"{stem.rates[q]:.4g}", f"{1.0 / stem.rates[q]:.4g}",
+         f"{posterior.waiting_mean[q]:.4g}")
+        for q in range(1, events.n_queues)
+    ]
+    print(render_table(
+        ["queue", "mu-hat", "service", "waiting"], rows, title="\nper-queue estimates"
+    ))
+    print("\nbottleneck ranking:")
+    print(render_report(rank_bottlenecks(posterior)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.which == "fig4":
+        result = run_fig4(quick_fig4_config(), random_state=args.seed)
+        for kind in ("service", "waiting"):
+            rows = [
+                (f"{frac:.0%}", *(f"{v:.4g}" for v in row.values()))
+                for frac, row in result.panel_quartiles(kind).items()
+            ]
+            print(render_table(
+                ["observed", "min", "q1", "median", "q3", "max"],
+                rows, title=f"\nFigure 4 ({kind} abs error)",
+            ))
+    elif args.which == "fig5":
+        result = run_fig5(quick_fig5_config(), random_state=args.seed)
+        headers = ["queue", *(f"{f:.0%}" for f in result.fractions), "truth"]
+        rows = [
+            (result.queue_names[q],
+             *(f"{result.service[f][q]:.4g}" for f in result.fractions),
+             f"{result.true_service[q]:.4g}")
+            for q in range(1, len(result.queue_names))
+        ]
+        print(render_table(headers, rows, title="\nFigure 5 (service estimates)"))
+    else:
+        comparison = run_variance_comparison(quick_fig4_config(), random_state=args.seed)
+        print(render_table(
+            ["estimator", "variance", "mean abs error"],
+            [
+                ("StEM", f"{comparison.stem_variance:.3e}", f"{comparison.stem_mean_error:.4g}"),
+                ("observed-mean", f"{comparison.baseline_variance:.3e}",
+                 f"{comparison.baseline_mean_error:.4g}"),
+            ],
+            title="\nSection 5.1 estimator comparison",
+        ))
+        print(f"variance ratio (StEM / baseline): {comparison.variance_ratio:.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "infer":
+        return _cmd_infer(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

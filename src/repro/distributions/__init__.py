@@ -1,0 +1,41 @@
+"""Service-time and interarrival-time distributions.
+
+The paper's inference algorithms are derived for exponential (M/M/1) service,
+but its modeling framework — and our discrete-event simulator — accept any
+nonnegative distribution.  This subpackage provides:
+
+* :class:`~repro.distributions.base.ServiceDistribution` — the interface
+  every distribution implements (sampling, log-density, mean, MLE fitting);
+* the exponential family member used throughout the paper
+  (:class:`~repro.distributions.exponential.Exponential`);
+* the truncated exponential required by the Gibbs sampler's Eq. (4)
+  (:class:`~repro.distributions.truncated.TruncatedExponential`);
+* a toolbox of alternatives (Erlang, hyper-exponential, gamma, log-normal,
+  deterministic, uniform, empirical) exercising the "more general service
+  distributions" direction the paper names as future work.
+"""
+
+from repro.distributions.base import ServiceDistribution
+from repro.distributions.deterministic import Deterministic
+from repro.distributions.empirical import Empirical
+from repro.distributions.erlang import Erlang
+from repro.distributions.exponential import Exponential
+from repro.distributions.gamma_dist import Gamma
+from repro.distributions.hyperexp import HyperExponential
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.truncated import TruncatedExponential, sample_truncated_exponential
+from repro.distributions.uniform_dist import UniformService
+
+__all__ = [
+    "ServiceDistribution",
+    "Exponential",
+    "TruncatedExponential",
+    "sample_truncated_exponential",
+    "Erlang",
+    "HyperExponential",
+    "Gamma",
+    "LogNormal",
+    "Deterministic",
+    "UniformService",
+    "Empirical",
+]

@@ -1,0 +1,81 @@
+"""Abstract interface for nonnegative service-time distributions."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.rng import RandomState, as_generator
+
+
+class ServiceDistribution(abc.ABC):
+    """A distribution over nonnegative service (or interarrival) times.
+
+    Implementations must be immutable: parameter updates (e.g. during EM)
+    create new instances via :meth:`fit`, never mutate existing ones.  This
+    keeps samplers and simulators free of aliasing bugs.
+    """
+
+    @abc.abstractmethod
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        """Draw *size* i.i.d. service times as a float array of shape ``(size,)``."""
+
+    @abc.abstractmethod
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise log-density; ``-inf`` outside the support."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected service time."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Service-time variance."""
+
+    @classmethod
+    @abc.abstractmethod
+    def fit(cls, samples: Sequence[float]) -> "ServiceDistribution":
+        """Maximum-likelihood fit to the given nonnegative samples."""
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by all implementations.
+    # ------------------------------------------------------------------
+
+    def sample_one(self, random_state: RandomState = None) -> float:
+        """Draw a single service time as a Python float."""
+        return float(self.sample(1, as_generator(random_state))[0])
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise density (exponentiated :meth:`log_pdf`)."""
+        return np.exp(self.log_pdf(x))
+
+    def log_likelihood(self, samples: Sequence[float]) -> float:
+        """Total log-likelihood of *samples* under this distribution."""
+        return float(np.sum(self.log_pdf(np.asarray(samples, dtype=float))))
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var / mean^2``.
+
+        The SCV is the standard single-number summary of how far a service
+        distribution is from exponential (SCV = 1): deterministic service has
+        SCV 0, hyper-exponential mixtures have SCV > 1.
+        """
+        mean = self.mean
+        if mean == 0.0:
+            return 0.0
+        return self.variance / (mean * mean)
+
+    @staticmethod
+    def _validate_samples(samples: Sequence[float]) -> np.ndarray:
+        """Shared input validation for :meth:`fit` implementations."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("fit() requires a non-empty 1-D sample array")
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise ValueError("service-time samples must be finite and nonnegative")
+        return arr

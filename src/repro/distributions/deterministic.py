@@ -1,0 +1,49 @@
+"""Deterministic (constant) service — the "D" in M/D/1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ServiceDistribution
+from repro.rng import RandomState
+
+
+@dataclass(frozen=True)
+class Deterministic(ServiceDistribution):
+    """Degenerate distribution: every service takes exactly ``value``.
+
+    Useful for modeling fixed-cost operations (e.g. constant-size network
+    transfers) and as an extreme low-variability point (SCV = 0) in
+    robustness sweeps.
+    """
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not (self.value >= 0.0 and np.isfinite(self.value)):
+            raise ValueError(f"deterministic value must be nonnegative and finite, got {self.value}")
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        return np.full(size, self.value)
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        # A point mass has no density; report 0.0 at the atom (log 1) and
+        # -inf elsewhere so log-likelihood comparisons remain usable.
+        x = np.asarray(x, dtype=float)
+        return np.where(np.isclose(x, self.value), 0.0, -np.inf)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "Deterministic":
+        arr = cls._validate_samples(samples)
+        return cls(value=float(arr.mean()))

@@ -1,0 +1,70 @@
+"""Empirical (resampling) service distribution.
+
+Wraps a measured sample of service times and serves bootstrap draws from it.
+This is the bridge to trace-driven simulation: feed measured service times
+from a production system into the simulator without committing to a
+parametric family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ServiceDistribution
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class Empirical(ServiceDistribution):
+    """Resamples uniformly (with replacement) from stored observations."""
+
+    observations: tuple[float, ...]
+    _arr: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.observations, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("empirical distribution needs a non-empty 1-D sample")
+        if np.any(arr < 0.0) or not np.all(np.isfinite(arr)):
+            raise ValueError("observations must be finite and nonnegative")
+        object.__setattr__(self, "observations", tuple(float(v) for v in arr))
+        object.__setattr__(self, "_arr", arr)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        rng = as_generator(random_state)
+        return rng.choice(self._arr, size=size, replace=True)
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Log of the discrete pmf: mass 1/n on each stored observation.
+
+        The empirical measure is atomic, so this is only meaningful for
+        values that exactly match an observation; everything else is -inf.
+        """
+        x = np.asarray(x, dtype=float)
+        out = np.full(x.shape, -np.inf)
+        uniques, counts = np.unique(self._arr, return_counts=True)
+        idx = np.searchsorted(uniques, x)
+        idx = np.clip(idx, 0, uniques.size - 1)
+        hit = np.isclose(uniques[idx], x)
+        out[hit] = np.log(counts[idx][hit] / self._arr.size)
+        return out
+
+    def quantile(self, p: float) -> float:
+        """Empirical quantile (linear interpolation)."""
+        return float(np.quantile(self._arr, p))
+
+    @property
+    def mean(self) -> float:
+        return float(self._arr.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self._arr.var())
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "Empirical":
+        arr = cls._validate_samples(samples)
+        return cls(observations=tuple(arr))

@@ -1,0 +1,87 @@
+"""The exponential distribution — the "M" in M/M/1.
+
+Everything in the paper's inference machinery (Eq. 1–4) is derived for
+exponential service with rate ``mu``, so this class is the workhorse of the
+whole library: the simulator draws service times from it, the M-step fits it,
+and the Gibbs conditional is a piecewise composition of its densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ServiceDistribution
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class Exponential(ServiceDistribution):
+    """Exponential distribution with rate ``rate`` (mean ``1 / rate``).
+
+    Parameters
+    ----------
+    rate:
+        The rate parameter ``mu > 0``; for a queue this is the service rate
+        (requests per unit time), for the initial queue ``q0`` it is the
+        system arrival rate ``lambda``.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (self.rate > 0.0 and np.isfinite(self.rate)):
+            raise ValueError(f"exponential rate must be positive and finite, got {self.rate}")
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        rng = as_generator(random_state)
+        return rng.exponential(scale=1.0 / self.rate, size=size)
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.full(x.shape, -np.inf)
+        ok = x >= 0.0
+        out[ok] = np.log(self.rate) - self.rate * x[ok]
+        return out
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """``P(X <= x) = 1 - exp(-rate * x)`` for ``x >= 0``."""
+        x = np.asarray(x, dtype=float)
+        return np.where(x < 0.0, 0.0, -np.expm1(-self.rate * x))
+
+    def quantile(self, p: np.ndarray) -> np.ndarray:
+        """Inverse CDF: ``-log(1 - p) / rate``."""
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return -np.log1p(-p) / self.rate
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    @property
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "Exponential":
+        """MLE: ``rate = n / sum(samples)``.
+
+        This is exactly the paper's M-step estimator for each queue's service
+        rate (and for the arrival rate via the initial queue's "services").
+        """
+        arr = cls._validate_samples(samples)
+        total = float(arr.sum())
+        if total <= 0.0:
+            raise ValueError("cannot fit an exponential to all-zero samples")
+        return cls(rate=arr.size / total)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Construct from a mean service time instead of a rate."""
+        if not (mean > 0.0 and np.isfinite(mean)):
+            raise ValueError(f"mean must be positive and finite, got {mean}")
+        return cls(rate=1.0 / mean)

@@ -1,0 +1,102 @@
+"""Hyper-exponential service distribution (mixture of exponentials).
+
+A two-branch hyper-exponential is the canonical model of *bursty* service:
+most requests are fast, a small fraction are slow (cache miss, lock
+contention, GC pause).  Its SCV exceeds one, making it the natural stress
+test for the paper's "diagnosis of slow requests" motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ServiceDistribution
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class HyperExponential(ServiceDistribution):
+    """Mixture ``sum_i p_i * Exp(rate_i)``.
+
+    Parameters
+    ----------
+    probs:
+        Mixture weights; must be positive and sum to one.
+    rates:
+        Exponential rate of each branch; positive, same length as *probs*.
+    """
+
+    probs: tuple[float, ...]
+    rates: tuple[float, ...]
+    _probs_arr: np.ndarray = field(init=False, repr=False, compare=False)
+    _rates_arr: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probs, dtype=float)
+        rates = np.asarray(self.rates, dtype=float)
+        if probs.shape != rates.shape or probs.ndim != 1 or probs.size == 0:
+            raise ValueError("probs and rates must be equal-length non-empty 1-D sequences")
+        if np.any(probs <= 0.0) or not np.isclose(probs.sum(), 1.0):
+            raise ValueError("mixture weights must be positive and sum to 1")
+        if np.any(rates <= 0.0) or not np.all(np.isfinite(rates)):
+            raise ValueError("branch rates must be positive and finite")
+        object.__setattr__(self, "probs", tuple(float(p) for p in probs))
+        object.__setattr__(self, "rates", tuple(float(r) for r in rates))
+        object.__setattr__(self, "_probs_arr", probs)
+        object.__setattr__(self, "_rates_arr", rates)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        rng = as_generator(random_state)
+        branch = rng.choice(len(self.probs), size=size, p=self._probs_arr)
+        scale = 1.0 / self._rates_arr[branch]
+        return rng.exponential(scale=scale)
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.full(x.shape, -np.inf)
+        ok = x >= 0.0
+        xs = x[ok][..., None]
+        log_terms = (
+            np.log(self._probs_arr) + np.log(self._rates_arr) - xs * self._rates_arr
+        )
+        # logsumexp over branches.
+        m = log_terms.max(axis=-1, keepdims=True)
+        out[ok] = (m + np.log(np.exp(log_terms - m).sum(axis=-1, keepdims=True)))[..., 0]
+        return out
+
+    @property
+    def mean(self) -> float:
+        return float(np.sum(self._probs_arr / self._rates_arr))
+
+    @property
+    def variance(self) -> float:
+        ex2 = float(np.sum(2.0 * self._probs_arr / self._rates_arr**2))
+        return ex2 - self.mean**2
+
+    @classmethod
+    def fit(cls, samples: Sequence[float], n_branches: int = 2, n_iter: int = 200) -> "HyperExponential":
+        """Fit by EM for a mixture of exponentials (fixed branch count)."""
+        arr = cls._validate_samples(samples)
+        arr = np.maximum(arr, 1e-300)
+        mean = float(arr.mean())
+        # Spread initial rates around the sample mean.
+        rates = np.array([1.0 / (mean * (0.5 + i)) for i in range(n_branches)])
+        probs = np.full(n_branches, 1.0 / n_branches)
+        for _ in range(n_iter):
+            log_resp = np.log(probs) + np.log(rates) - arr[:, None] * rates
+            m = log_resp.max(axis=1, keepdims=True)
+            resp = np.exp(log_resp - m)
+            resp /= resp.sum(axis=1, keepdims=True)
+            nk = resp.sum(axis=0)
+            new_probs = nk / arr.size
+            new_rates = nk / np.maximum(resp.T @ arr, 1e-300)
+            if np.allclose(new_probs, probs, atol=1e-10) and np.allclose(new_rates, rates, atol=1e-10):
+                probs, rates = new_probs, new_rates
+                break
+            probs, rates = new_probs, new_rates
+        probs = np.maximum(probs, 1e-12)
+        probs = probs / probs.sum()
+        return cls(probs=tuple(probs), rates=tuple(rates))

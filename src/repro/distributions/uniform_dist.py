@@ -1,0 +1,50 @@
+"""Uniform service distribution on a nonnegative interval."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ServiceDistribution
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class UniformService(ServiceDistribution):
+    """Uniform distribution on ``[low, high]`` with ``0 <= low < high``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.low < self.high and np.isfinite(self.high)):
+            raise ValueError(f"require 0 <= low < high < inf, got [{self.low}, {self.high}]")
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        rng = as_generator(random_state)
+        return rng.uniform(self.low, self.high, size=size)
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.low) & (x <= self.high)
+        return np.where(inside, -np.log(self.high - self.low), -np.inf)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    @classmethod
+    def fit(cls, samples: Sequence[float]) -> "UniformService":
+        """MLE: the sample min/max (widened infinitesimally for likelihood)."""
+        arr = cls._validate_samples(samples)
+        low = float(arr.min())
+        high = float(arr.max())
+        if high <= low:
+            high = low + max(1e-12, abs(low) * 1e-9 + 1e-12)
+        return cls(low=low, high=high)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A model, network, or experiment was configured inconsistently.
+
+    Examples: a transition matrix whose rows do not sum to one, a queue
+    referenced by the FSM that does not exist in the network, or a negative
+    service rate.
+    """
+
+
+class InvalidEventSetError(ReproError):
+    """An event set violates the deterministic queueing constraints.
+
+    The constraints are those of paper Eq. (1): ``a_e = d_{pi(e)}`` and
+    ``d_e = s_e + max(a_e, d_{rho(e)})`` with ``s_e >= 0``, plus the fixed
+    arrival order at every queue.
+    """
+
+
+class InfeasibleInitializationError(ReproError):
+    """No feasible latent-variable assignment could be constructed.
+
+    Raised when the LP initializer finds the deterministic constraints
+    unsatisfiable (which indicates corrupted observations, e.g. an observed
+    departure earlier than the same task's observed arrival) or when the
+    heuristic initializer cannot satisfy an interval constraint.
+    """
+
+
+class InferenceError(ReproError):
+    """An inference procedure failed (e.g. empty support for a Gibbs move)."""
+
+
+class ObservationError(ReproError):
+    """An observation scheme is inconsistent with the event set it observes."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an invalid internal state."""
+
+
+class NotStableError(ReproError):
+    """A steady-state queueing formula was asked about an unstable queue.
+
+    Classical M/M/1 and M/M/c formulas require utilization strictly below
+    one; this error signals that the requested system has no steady state.
+    """

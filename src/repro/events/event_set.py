@@ -1,0 +1,547 @@
+"""Struct-of-arrays storage for a trace of queueing events.
+
+Index conventions
+-----------------
+* Events are rows ``0 .. n_events - 1`` of parallel arrays.
+* ``task[e]`` is the task id, ``seq[e]`` the position within the task
+  (0 = the initial event at the reserved arrival queue 0).
+* ``pi[e]``/``pi_inv[e]`` are the within-task predecessor/successor event
+  indices (-1 when absent); ``rho[e]``/``rho_inv[e]`` the within-queue
+  neighbors under the **fixed arrival order** the paper assumes is known
+  from event counters.
+* ``arrival[e]`` and ``departure[e]`` are clock times.  The identity
+  ``arrival[e] == departure[pi[e]]`` is maintained by construction and by
+  the mutation API (:meth:`EventSet.set_arrival`).
+
+Service times are *derived*: ``s_e = d_e - max(a_e, d_rho(e))`` (paper
+Section 2: "the service time can be computed deterministically from the set
+of all arrivals and departures").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidEventSetError
+
+#: Tolerance used by :meth:`EventSet.validate` for floating-point checks.
+DEFAULT_ATOL = 1e-9
+
+
+class EventSet:
+    """A mutable trace of queueing events with predecessor structure.
+
+    Build instances with :meth:`from_arrays` (bulk, e.g. from the simulator)
+    or :meth:`from_task_paths` (per-task lists).  The Gibbs sampler mutates
+    times in place through :meth:`set_arrival` / :meth:`set_final_departure`,
+    which preserve the ``a_e = d_{pi(e)}`` identity; the arrival *order* at
+    every queue is frozen at construction time, per the paper's
+    event-counter assumption.
+    """
+
+    __slots__ = (
+        "task",
+        "seq",
+        "queue",
+        "state",
+        "arrival",
+        "departure",
+        "pi",
+        "pi_inv",
+        "rho",
+        "rho_inv",
+        "n_queues",
+        "_queue_order",
+        "_task_events",
+    )
+
+    def __init__(
+        self,
+        task: np.ndarray,
+        seq: np.ndarray,
+        queue: np.ndarray,
+        arrival: np.ndarray,
+        departure: np.ndarray,
+        n_queues: int,
+        state: np.ndarray | None = None,
+        queue_order: list[np.ndarray] | None = None,
+    ) -> None:
+        self.task = np.asarray(task, dtype=np.int64)
+        self.seq = np.asarray(seq, dtype=np.int64)
+        self.queue = np.asarray(queue, dtype=np.int64)
+        self.arrival = np.asarray(arrival, dtype=float).copy()
+        self.departure = np.asarray(departure, dtype=float).copy()
+        self.state = (
+            np.asarray(state, dtype=np.int64)
+            if state is not None
+            else np.full(self.task.shape, -1, dtype=np.int64)
+        )
+        n = self.task.size
+        for name, arr in (
+            ("seq", self.seq),
+            ("queue", self.queue),
+            ("arrival", self.arrival),
+            ("departure", self.departure),
+            ("state", self.state),
+        ):
+            if arr.shape != (n,):
+                raise InvalidEventSetError(
+                    f"array {name!r} has shape {arr.shape}, expected ({n},)"
+                )
+        if n == 0:
+            raise InvalidEventSetError("an event set must contain at least one event")
+        if n_queues < 2:
+            raise InvalidEventSetError("n_queues must include queue 0 plus real queues")
+        if self.queue.min() < 0 or self.queue.max() >= n_queues:
+            raise InvalidEventSetError(
+                f"queue indices must lie in [0, {n_queues - 1}]"
+            )
+        self.n_queues = int(n_queues)
+        self._build_task_pointers()
+        self._build_queue_order(queue_order)
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    def _build_task_pointers(self) -> None:
+        """Derive pi/pi_inv and per-task event lists from (task, seq)."""
+        n = self.task.size
+        order = np.lexsort((self.seq, self.task))
+        self.pi = np.full(n, -1, dtype=np.int64)
+        self.pi_inv = np.full(n, -1, dtype=np.int64)
+        self._task_events: dict[int, np.ndarray] = {}
+        start = 0
+        sorted_tasks = self.task[order]
+        boundaries = np.flatnonzero(np.diff(sorted_tasks)) + 1
+        for stop in [*boundaries.tolist(), n]:
+            chunk = order[start:stop]
+            task_id = int(self.task[chunk[0]])
+            seqs = self.seq[chunk]
+            if seqs[0] != 0 or not np.array_equal(seqs, np.arange(chunk.size)):
+                raise InvalidEventSetError(
+                    f"task {task_id} must have contiguous seq 0..{chunk.size - 1}, got {seqs}"
+                )
+            if self.queue[chunk[0]] != 0:
+                raise InvalidEventSetError(
+                    f"task {task_id}: event with seq 0 must be the initial event at queue 0"
+                )
+            if np.any(self.queue[chunk[1:]] == 0):
+                raise InvalidEventSetError(
+                    f"task {task_id}: only the seq-0 event may use queue 0"
+                )
+            self.pi[chunk[1:]] = chunk[:-1]
+            self.pi_inv[chunk[:-1]] = chunk[1:]
+            self._task_events[task_id] = chunk
+            start = stop
+
+    def _build_queue_order(self, queue_order: list[np.ndarray] | None) -> None:
+        """Freeze the per-queue arrival order and derive rho/rho_inv."""
+        n = self.task.size
+        if queue_order is None:
+            queue_order = []
+            for q in range(self.n_queues):
+                members = np.flatnonzero(self.queue == q)
+                # Arrival order with deterministic tie-breaking: for queue 0
+                # all arrivals are 0, so order by departure (= system entry).
+                keys = np.lexsort(
+                    (self.seq[members], self.task[members],
+                     self.departure[members], self.arrival[members])
+                )
+                queue_order.append(members[keys])
+        else:
+            if len(queue_order) != self.n_queues:
+                raise InvalidEventSetError(
+                    f"queue_order must have {self.n_queues} entries, got {len(queue_order)}"
+                )
+            queue_order = [np.asarray(o, dtype=np.int64).copy() for o in queue_order]
+            seen = np.concatenate([o for o in queue_order if o.size]) if n else np.empty(0)
+            if seen.size != n or np.unique(seen).size != n:
+                raise InvalidEventSetError("queue_order must partition all events")
+            for q, members in enumerate(queue_order):
+                if np.any(self.queue[members] != q):
+                    raise InvalidEventSetError(
+                        f"queue_order[{q}] contains events from other queues"
+                    )
+        self._queue_order = queue_order
+        self.rho = np.full(n, -1, dtype=np.int64)
+        self.rho_inv = np.full(n, -1, dtype=np.int64)
+        for members in queue_order:
+            if members.size >= 2:
+                self.rho[members[1:]] = members[:-1]
+                self.rho_inv[members[:-1]] = members[1:]
+
+    @classmethod
+    def from_arrays(
+        cls,
+        task: Sequence[int],
+        seq: Sequence[int],
+        queue: Sequence[int],
+        arrival: Sequence[float],
+        departure: Sequence[float],
+        n_queues: int,
+        state: Sequence[int] | None = None,
+    ) -> "EventSet":
+        """Build from parallel columns (see class docstring for conventions)."""
+        return cls(
+            task=np.asarray(task),
+            seq=np.asarray(seq),
+            queue=np.asarray(queue),
+            arrival=np.asarray(arrival),
+            departure=np.asarray(departure),
+            n_queues=n_queues,
+            state=np.asarray(state) if state is not None else None,
+        )
+
+    @classmethod
+    def from_task_paths(
+        cls,
+        entries: Sequence[float],
+        paths: Sequence[Sequence[int]],
+        arrivals: Sequence[Sequence[float]],
+        departures: Sequence[Sequence[float]],
+        n_queues: int,
+        states: Sequence[Sequence[int]] | None = None,
+    ) -> "EventSet":
+        """Build from per-task records.
+
+        Parameters
+        ----------
+        entries:
+            System entry time of each task (departure of its initial event).
+        paths:
+            Queue index of each visit, per task.
+        arrivals / departures:
+            Clock times of each visit, per task; ``arrivals[k][0]`` must
+            equal ``entries[k]`` and consecutive visits must chain
+            (``arrivals[k][i] == departures[k][i-1]``).
+        """
+        task_col: list[int] = []
+        seq_col: list[int] = []
+        queue_col: list[int] = []
+        arr_col: list[float] = []
+        dep_col: list[float] = []
+        state_col: list[int] = []
+        for k, entry in enumerate(entries):
+            path = list(paths[k])
+            arr = list(arrivals[k])
+            dep = list(departures[k])
+            if not len(path) == len(arr) == len(dep):
+                raise InvalidEventSetError(
+                    f"task {k}: path/arrivals/departures lengths differ"
+                )
+            st = list(states[k]) if states is not None else [-1] * len(path)
+            # Initial event: queue 0, arrives at clock 0, departs at entry.
+            task_col.append(k)
+            seq_col.append(0)
+            queue_col.append(0)
+            arr_col.append(0.0)
+            dep_col.append(float(entry))
+            state_col.append(-1)
+            for i, q in enumerate(path):
+                task_col.append(k)
+                seq_col.append(i + 1)
+                queue_col.append(int(q))
+                arr_col.append(float(arr[i]))
+                dep_col.append(float(dep[i]))
+                state_col.append(int(st[i]))
+        return cls.from_arrays(
+            task=task_col,
+            seq=seq_col,
+            queue=queue_col,
+            arrival=arr_col,
+            departure=dep_col,
+            n_queues=n_queues,
+            state=state_col,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic shape.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        """Total number of events, including initial events."""
+        return self.task.size
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of distinct tasks."""
+        return len(self._task_events)
+
+    @property
+    def task_ids(self) -> list[int]:
+        """Sorted task identifiers."""
+        return sorted(self._task_events)
+
+    def events_of_task(self, task_id: int) -> np.ndarray:
+        """Event indices of a task in within-task (seq) order."""
+        try:
+            return self._task_events[int(task_id)]
+        except KeyError:
+            raise InvalidEventSetError(f"unknown task id {task_id}") from None
+
+    def queue_order(self, q: int) -> np.ndarray:
+        """Event indices at queue *q* in the frozen arrival order."""
+        return self._queue_order[q]
+
+    def is_initial(self, e: int) -> bool:
+        """Whether event *e* is a task's initial (system-entry) event."""
+        return bool(self.seq[e] == 0)
+
+    def is_last_of_task(self, e: int) -> bool:
+        """Whether event *e* is the last event of its task."""
+        return bool(self.pi_inv[e] == -1)
+
+    # ------------------------------------------------------------------
+    # Derived times.
+    # ------------------------------------------------------------------
+
+    def begin_times(self) -> np.ndarray:
+        """Service start ``max(a_e, d_rho(e))`` for every event."""
+        dep_rho = np.where(self.rho >= 0, self.departure[np.maximum(self.rho, 0)], -np.inf)
+        return np.maximum(self.arrival, dep_rho)
+
+    def service_times(self) -> np.ndarray:
+        """Service time ``s_e = d_e - max(a_e, d_rho(e))`` for every event."""
+        return self.departure - self.begin_times()
+
+    def waiting_times(self) -> np.ndarray:
+        """Waiting (queueing) time ``w_e = max(a_e, d_rho(e)) - a_e``."""
+        return self.begin_times() - self.arrival
+
+    def response_times(self) -> np.ndarray:
+        """Per-event response ``r_e = s_e + w_e = d_e - a_e``."""
+        return self.departure - self.arrival
+
+    def service_time_of(self, e: int) -> float:
+        """Service time of a single event (scalar fast path)."""
+        rho = self.rho[e]
+        begin = self.arrival[e] if rho < 0 else max(self.arrival[e], self.departure[rho])
+        return float(self.departure[e] - begin)
+
+    def task_response_times(self) -> dict[int, float]:
+        """End-to-end response of each task: final departure minus entry."""
+        out = {}
+        for task_id, events in self._task_events.items():
+            out[task_id] = float(self.departure[events[-1]] - self.departure[events[0]])
+        return out
+
+    def per_queue_mean(self, values: np.ndarray, include_initial: bool = True) -> np.ndarray:
+        """Mean of a per-event array grouped by queue (nan for empty queues)."""
+        out = np.full(self.n_queues, np.nan)
+        for q in range(0 if include_initial else 1, self.n_queues):
+            members = self._queue_order[q]
+            if members.size:
+                out[q] = float(values[members].mean())
+        return out
+
+    def mean_service_by_queue(self) -> np.ndarray:
+        """Mean realized service time per queue (index 0 = mean interarrival)."""
+        return self.per_queue_mean(self.service_times())
+
+    def mean_waiting_by_queue(self) -> np.ndarray:
+        """Mean realized waiting time per queue."""
+        return self.per_queue_mean(self.waiting_times())
+
+    def events_per_queue(self) -> np.ndarray:
+        """Number of events processed by each queue."""
+        return np.array([o.size for o in self._queue_order], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Mutation (Gibbs moves).
+    # ------------------------------------------------------------------
+
+    def set_arrival(self, e: int, t: float) -> None:
+        """Move event *e*'s arrival to *t*, keeping ``a_e = d_{pi(e)}``.
+
+        Only non-initial events have movable arrivals (initial events arrive
+        at clock 0 by convention).  No feasibility check is performed here —
+        the Gibbs sampler guarantees the new value lies inside the
+        constraint interval; use :meth:`validate` in tests.
+        """
+        p = self.pi[e]
+        if p < 0:
+            raise InvalidEventSetError(
+                f"event {e} is an initial event; its arrival is pinned at 0"
+            )
+        self.arrival[e] = t
+        self.departure[p] = t
+
+    def set_final_departure(self, e: int, t: float) -> None:
+        """Set the departure of a task's last event to *t*."""
+        if self.pi_inv[e] != -1:
+            raise InvalidEventSetError(
+                f"event {e} is not the last event of its task; "
+                "its departure equals the successor's arrival — move that instead"
+            )
+        self.departure[e] = t
+
+    def reassign_queue(self, e: int, q_new: int) -> None:
+        """Move event *e* to a different queue (unknown-path resampling).
+
+        Supports the paper's outer Metropolis-Hastings step over FSM paths:
+        when the routing of an unobserved task is itself unknown (e.g. the
+        load balancer's server choice was not logged), a path move changes
+        ``q_e``.  The event is removed from its current queue's order and
+        inserted into the new queue's order *by its current arrival time*,
+        updating the ``rho``/``rho_inv`` pointers of all four neighbors.
+
+        The caller is responsible for accepting/rejecting the move (the
+        times are left untouched, so the new configuration may have negative
+        service times — exactly what the MH acceptance test checks).
+        """
+        q_old = int(self.queue[e])
+        q_new = int(q_new)
+        if not 1 <= q_new < self.n_queues:
+            raise InvalidEventSetError(
+                f"cannot reassign to queue {q_new}; real queues are 1..{self.n_queues - 1}"
+            )
+        if self.seq[e] == 0:
+            raise InvalidEventSetError("initial events are pinned to queue 0")
+        if q_new == q_old:
+            return
+        # Unlink from the old queue.
+        order_old = self._queue_order[q_old]
+        pos = int(np.flatnonzero(order_old == e)[0])
+        prev_old = self.rho[e]
+        next_old = self.rho_inv[e]
+        if prev_old >= 0:
+            self.rho_inv[prev_old] = next_old
+        if next_old >= 0:
+            self.rho[next_old] = prev_old
+        self._queue_order[q_old] = np.delete(order_old, pos)
+        # Link into the new queue, ordered by current arrival time.
+        order_new = self._queue_order[q_new]
+        pos = int(np.searchsorted(self.arrival[order_new], self.arrival[e], side="right"))
+        prev_new = int(order_new[pos - 1]) if pos > 0 else -1
+        next_new = int(order_new[pos]) if pos < order_new.size else -1
+        self.rho[e] = prev_new
+        self.rho_inv[e] = next_new
+        if prev_new >= 0:
+            self.rho_inv[prev_new] = e
+        if next_new >= 0:
+            self.rho[next_new] = e
+        self._queue_order[q_new] = np.insert(order_new, pos, e)
+        self.queue[e] = q_new
+
+    def copy(self) -> "EventSet":
+        """Deep copy sharing no mutable state with the original.
+
+        Arrays that no mutation path ever touches (task/seq/pi structure)
+        are shared; everything :meth:`set_arrival`,
+        :meth:`set_final_departure`, or :meth:`reassign_queue` can modify
+        is copied.
+        """
+        new = EventSet.__new__(EventSet)
+        new.task = self.task
+        new.seq = self.seq
+        new.queue = self.queue.copy()
+        new.state = self.state.copy()
+        new.arrival = self.arrival.copy()
+        new.departure = self.departure.copy()
+        new.pi = self.pi
+        new.pi_inv = self.pi_inv
+        new.rho = self.rho.copy()
+        new.rho_inv = self.rho_inv.copy()
+        new.n_queues = self.n_queues
+        new._queue_order = [o.copy() for o in self._queue_order]
+        new._task_events = self._task_events
+        return new
+
+    # ------------------------------------------------------------------
+    # Validation and scoring.
+    # ------------------------------------------------------------------
+
+    def validate(self, atol: float = DEFAULT_ATOL) -> None:
+        """Check every deterministic constraint; raise on the first failure.
+
+        Verifies (1) initial-event conventions, (2) the ``a_e = d_{pi(e)}``
+        identity, (3) nonnegative service times, (4) that arrivals and
+        departures at every queue respect the frozen FIFO order.
+        """
+        init = self.seq == 0
+        if np.any(self.arrival[init] != 0.0):
+            raise InvalidEventSetError("initial events must arrive at clock 0")
+        if np.any(self.departure[init] < -atol):
+            raise InvalidEventSetError("system entry times must be nonnegative")
+        non_init = ~init
+        pis = self.pi[non_init]
+        if np.any(np.abs(self.arrival[non_init] - self.departure[pis]) > atol):
+            bad = np.flatnonzero(
+                np.abs(self.arrival[non_init] - self.departure[pis]) > atol
+            )
+            raise InvalidEventSetError(
+                f"a_e != d_pi(e) for events {np.flatnonzero(non_init)[bad][:5]} ..."
+            )
+        services = self.service_times()
+        if np.any(services < -atol):
+            bad = np.flatnonzero(services < -atol)
+            raise InvalidEventSetError(
+                f"negative service times at events {bad[:5]} "
+                f"(min {services.min():.3e})"
+            )
+        for q, members in enumerate(self._queue_order):
+            if members.size < 2:
+                continue
+            arr = self.arrival[members]
+            if np.any(np.diff(arr) < -atol):
+                raise InvalidEventSetError(
+                    f"arrival order violated at queue {q}"
+                )
+            dep = self.departure[members]
+            if np.any(np.diff(dep) < -atol):
+                raise InvalidEventSetError(
+                    f"FIFO departure order violated at queue {q}"
+                )
+
+    def is_valid(self, atol: float = DEFAULT_ATOL) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(atol)
+        except InvalidEventSetError:
+            return False
+        return True
+
+    def log_joint(self, rates: Sequence[float]) -> float:
+        """Log of the joint density Eq. (1) at the current times.
+
+        Parameters
+        ----------
+        rates:
+            Exponential rate per queue; index 0 is the arrival rate
+            ``lambda`` (interarrivals are queue 0's services, per the
+            initial-queue convention).
+
+        Notes
+        -----
+        The FSM path probabilities ``p(q|sigma) p(sigma|sigma')`` are
+        constant given the paper's known-path assumption and are omitted;
+        include them via ``ProbabilisticFSM.path_log_prob`` if comparing
+        across routings.  Returns ``-inf`` for infeasible configurations.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self.n_queues,):
+            raise InvalidEventSetError(
+                f"expected {self.n_queues} rates, got shape {rates.shape}"
+            )
+        services = self.service_times()
+        if np.any(services < 0.0):
+            return -np.inf
+        mu = rates[self.queue]
+        return float(np.sum(np.log(mu) - mu * services))
+
+    def total_service_by_queue(self) -> np.ndarray:
+        """Sum of service times per queue — the M-step sufficient statistic."""
+        services = self.service_times()
+        out = np.zeros(self.n_queues)
+        np.add.at(out, self.queue, services)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"EventSet(n_events={self.n_events}, n_tasks={self.n_tasks}, "
+            f"n_queues={self.n_queues})"
+        )

@@ -1,0 +1,84 @@
+"""Serialization of event sets to plain records and JSONL files.
+
+Traces are exchanged as one flat record per event — the natural shape for
+log shipping from an instrumented system — and reassembled into an
+:class:`~repro.events.event_set.EventSet` with pointers rebuilt from the
+``(task, seq)`` keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import InvalidEventSetError
+from repro.events.event_set import EventSet
+
+#: Fields serialized per event, in column order.
+RECORD_FIELDS = ("task", "seq", "queue", "state", "arrival", "departure")
+
+
+def event_set_to_records(events: EventSet) -> list[dict]:
+    """Flatten an event set into one dict per event (sorted by task, seq)."""
+    records = []
+    for task_id in events.task_ids:
+        for e in events.events_of_task(task_id):
+            records.append(
+                {
+                    "task": int(events.task[e]),
+                    "seq": int(events.seq[e]),
+                    "queue": int(events.queue[e]),
+                    "state": int(events.state[e]),
+                    "arrival": float(events.arrival[e]),
+                    "departure": float(events.departure[e]),
+                }
+            )
+    return records
+
+
+def event_set_from_records(records: Iterable[dict], n_queues: int) -> EventSet:
+    """Rebuild an event set from per-event records.
+
+    Records may arrive in any order; pointers are reconstructed from the
+    ``(task, seq)`` keys and the arrival order at each queue from the times.
+    """
+    records = list(records)
+    if not records:
+        raise InvalidEventSetError("no records to build an event set from")
+    missing = [f for f in RECORD_FIELDS if f not in records[0] and f != "state"]
+    if missing:
+        raise InvalidEventSetError(f"records missing fields: {missing}")
+    return EventSet.from_arrays(
+        task=[r["task"] for r in records],
+        seq=[r["seq"] for r in records],
+        queue=[r["queue"] for r in records],
+        arrival=[r["arrival"] for r in records],
+        departure=[r["departure"] for r in records],
+        state=[r.get("state", -1) for r in records],
+        n_queues=n_queues,
+    )
+
+
+def save_jsonl(events: EventSet, path: str | Path) -> None:
+    """Write an event set as JSON-lines with a leading header record."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"kind": "repro-event-set", "version": 1, "n_queues": events.n_queues}
+        fh.write(json.dumps(header) + "\n")
+        for record in event_set_to_records(events):
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: str | Path) -> EventSet:
+    """Read an event set written by :func:`save_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise InvalidEventSetError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("kind") != "repro-event-set":
+            raise InvalidEventSetError(f"{path} is not a repro event-set file")
+        records = [json.loads(line) for line in fh if line.strip()]
+    return event_set_from_records(records, n_queues=int(header["n_queues"]))

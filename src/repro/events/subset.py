@@ -1,0 +1,73 @@
+"""Extracting task subsets from an event set (windowed inference support).
+
+Windowed/online estimation re-runs inference on the tasks inside a time
+window.  This module restricts an event set (possibly censored, with nan
+times) to a task subset while preserving the frozen per-queue arrival
+order — the information that survives censoring.
+
+Note the approximation inherent in windowing: dropping out-of-window
+tasks removes their events from the within-queue predecessor chains, so
+waiting caused by cross-window neighbors is attributed differently than
+in the full trace.  This is the standard trade-off of windowed analysis;
+edge effects shrink as the window grows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InvalidEventSetError
+from repro.events.event_set import EventSet
+from repro.observation.observed import ObservedTrace
+
+
+def subset_tasks(events: EventSet, task_ids: Iterable[int]) -> tuple[EventSet, np.ndarray]:
+    """Restrict *events* to the given tasks.
+
+    Returns
+    -------
+    (subset, kept)
+        *subset* is a new event set containing exactly the selected tasks
+        (original task ids preserved), with the per-queue order equal to
+        the original order restricted to kept events.  *kept* maps subset
+        row -> original event index.
+    """
+    wanted = sorted(set(int(t) for t in task_ids))
+    if not wanted:
+        raise InvalidEventSetError("cannot build an empty task subset")
+    rows: list[np.ndarray] = []
+    for task_id in wanted:
+        rows.append(events.events_of_task(task_id))
+    kept = np.concatenate(rows)
+    kept.sort()
+    index_of = {int(e): i for i, e in enumerate(kept)}
+    queue_order = []
+    for q in range(events.n_queues):
+        original = events.queue_order(q)
+        queue_order.append(
+            np.array([index_of[int(e)] for e in original if int(e) in index_of],
+                     dtype=np.int64)
+        )
+    subset = EventSet(
+        task=events.task[kept],
+        seq=events.seq[kept],
+        queue=events.queue[kept],
+        arrival=events.arrival[kept],
+        departure=events.departure[kept],
+        n_queues=events.n_queues,
+        state=events.state[kept],
+        queue_order=queue_order,
+    )
+    return subset, kept
+
+
+def subset_trace(trace: ObservedTrace, task_ids: Iterable[int]) -> ObservedTrace:
+    """Restrict an observed trace to the given tasks."""
+    skeleton, kept = subset_tasks(trace.skeleton, task_ids)
+    return ObservedTrace(
+        skeleton=skeleton,
+        arrival_observed=trace.arrival_observed[kept],
+        departure_observed=trace.departure_observed[kept],
+    )

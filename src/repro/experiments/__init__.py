@@ -1,0 +1,44 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each driver is shared between the ``benchmarks/`` harness (which prints
+the paper-comparable rows) and the ``examples/`` scripts.  Configurations
+come in two sizes: ``paper_*`` (the exact scale of the paper) and
+``quick_*`` (reduced scale for CI-friendly benchmark runs); the benchmark
+files select via the ``REPRO_FULL`` environment variable.
+"""
+
+from repro.experiments.fig4 import (
+    Fig4Config,
+    Fig4Point,
+    Fig4Result,
+    paper_fig4_config,
+    quick_fig4_config,
+    run_fig4,
+)
+from repro.experiments.fig5 import (
+    Fig5Config,
+    Fig5Result,
+    paper_fig5_config,
+    quick_fig5_config,
+    run_fig5,
+)
+from repro.experiments.results import quartile_row, render_table
+from repro.experiments.variance import VarianceComparison, run_variance_comparison
+
+__all__ = [
+    "Fig4Config",
+    "Fig4Point",
+    "Fig4Result",
+    "run_fig4",
+    "paper_fig4_config",
+    "quick_fig4_config",
+    "Fig5Config",
+    "Fig5Result",
+    "run_fig5",
+    "paper_fig5_config",
+    "quick_fig5_config",
+    "VarianceComparison",
+    "run_variance_comparison",
+    "render_table",
+    "quartile_row",
+]

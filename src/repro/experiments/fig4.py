@@ -1,0 +1,160 @@
+"""Figure 4: estimation error vs observation rate on synthetic networks.
+
+Paper Section 5.1: three-tier networks (Figure 1 without the network
+queues), arrival rate ``lambda = 10``, every service rate ``mu = 5``, five
+structures varying servers per tier, 1 000 tasks each, 10 repetitions;
+observe all arrivals of a random task sample at 5 %, 10 %, 25 %; plot the
+absolute error of the recovered per-queue service time (left panel) and
+waiting time (right panel).
+
+Each point of the figure is "the absolute error in the estimate for one
+queue in one repetition for one simulated structure" — the driver returns
+exactly those points, and the benchmark prints their quartiles per panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.results import quartile_row
+from repro.inference import estimate_posterior, run_stem
+from repro.network import build_three_tier_network, paper_synthetic_structures
+from repro.observation import TaskSampling
+from repro.rng import RandomState, spawn
+from repro.simulate import simulate_network
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Scale knobs for the Figure-4 experiment."""
+
+    structures: tuple[tuple[str, tuple[int, int, int]], ...]
+    fractions: tuple[float, ...] = (0.05, 0.10, 0.25)
+    n_tasks: int = 1000
+    n_repetitions: int = 10
+    arrival_rate: float = 10.0
+    service_rate: float = 5.0
+    stem_iterations: int = 100
+    posterior_samples: int = 25
+    posterior_burn_in: int = 10
+
+
+def paper_fig4_config() -> Fig4Config:
+    """The paper's full scale: 5 structures x 10 repetitions x 1000 tasks."""
+    return Fig4Config(structures=tuple(paper_synthetic_structures()))
+
+
+def quick_fig4_config() -> Fig4Config:
+    """Reduced scale for fast benchmark runs (same code path)."""
+    return Fig4Config(
+        structures=tuple(paper_synthetic_structures()[:3]),
+        n_tasks=300,
+        n_repetitions=2,
+        stem_iterations=60,
+        posterior_samples=15,
+        posterior_burn_in=5,
+    )
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    """One dot of Figure 4: one queue, one repetition, one structure."""
+
+    structure: str
+    fraction: float
+    repetition: int
+    queue: int
+    service_error: float
+    waiting_error: float
+    service_estimate: float
+    service_truth: float
+    waiting_estimate: float
+    waiting_truth: float
+
+
+@dataclass
+class Fig4Result:
+    """All Figure-4 points plus the summaries the paper quotes."""
+
+    points: list[Fig4Point] = field(default_factory=list)
+
+    def errors(self, fraction: float, kind: str) -> np.ndarray:
+        """All absolute errors for one x-axis position and panel."""
+        key = "service_error" if kind == "service" else "waiting_error"
+        return np.array(
+            [getattr(p, key) for p in self.points if p.fraction == fraction]
+        )
+
+    def panel_quartiles(self, kind: str) -> dict[float, dict[str, float]]:
+        """Boxplot data per observed fraction for one panel."""
+        fractions = sorted({p.fraction for p in self.points})
+        return {f: quartile_row(self.errors(f, kind)) for f in fractions}
+
+    def median_error(self, fraction: float, kind: str) -> float:
+        """The paper's headline summary (e.g. 0.033 service @ 5 %)."""
+        errs = self.errors(fraction, kind)
+        return float(np.median(errs[np.isfinite(errs)]))
+
+
+def run_fig4(config: Fig4Config, random_state: RandomState = None) -> Fig4Result:
+    """Run the full sweep: structures x repetitions x observation fractions.
+
+    For each run: simulate ground truth, censor with
+    :class:`~repro.observation.TaskSampling`, estimate rates with StEM,
+    then estimate waiting times by running the Gibbs sampler at the fixed
+    estimate (paper Section 4).  Service estimates are the model means
+    ``1 / mu_hat``; truths are the realized per-queue means of the ground
+    truth.
+    """
+    result = Fig4Result()
+    n_runs = len(config.structures) * config.n_repetitions
+    streams = iter(spawn(random_state, n_runs * (1 + 2 * len(config.fractions))))
+    for structure_name, servers in config.structures:
+        network = build_three_tier_network(
+            arrival_rate=config.arrival_rate,
+            servers_per_tier=servers,
+            service_rate=config.service_rate,
+        )
+        for rep in range(config.n_repetitions):
+            sim = simulate_network(network, config.n_tasks, random_state=next(streams))
+            true_service = sim.events.mean_service_by_queue()
+            true_waiting = sim.events.mean_waiting_by_queue()
+            for fraction in config.fractions:
+                trace = TaskSampling(fraction=fraction).observe(
+                    sim.events, random_state=next(streams)
+                )
+                rng = next(streams)
+                stem = run_stem(
+                    trace,
+                    n_iterations=config.stem_iterations,
+                    init_method="heuristic",
+                    random_state=rng,
+                )
+                posterior = estimate_posterior(
+                    trace,
+                    rates=stem.rates,
+                    n_samples=config.posterior_samples,
+                    burn_in=config.posterior_burn_in,
+                    state=stem.sampler.state,
+                    random_state=rng,
+                )
+                est_service = stem.mean_service_times()
+                est_waiting = posterior.waiting_mean
+                for q in range(1, sim.events.n_queues):
+                    result.points.append(
+                        Fig4Point(
+                            structure=structure_name,
+                            fraction=fraction,
+                            repetition=rep,
+                            queue=q,
+                            service_error=abs(est_service[q] - true_service[q]),
+                            waiting_error=abs(est_waiting[q] - true_waiting[q]),
+                            service_estimate=float(est_service[q]),
+                            service_truth=float(true_service[q]),
+                            waiting_estimate=float(est_waiting[q]),
+                            waiting_truth=float(true_waiting[q]),
+                        )
+                    )
+    return result

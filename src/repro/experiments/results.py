@@ -1,0 +1,50 @@
+"""Result-table utilities shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def quartile_row(values: Sequence[float]) -> dict[str, float]:
+    """Five-number summary of a sample (the data behind a boxplot panel)."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        return {"min": np.nan, "q1": np.nan, "median": np.nan, "q3": np.nan, "max": np.nan}
+    return {
+        "min": float(arr.min()),
+        "q1": float(np.percentile(arr, 25)),
+        "median": float(np.median(arr)),
+        "q3": float(np.percentile(arr, 75)),
+        "max": float(arr.max()),
+    }
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table (floats shown with 4 significant digits)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if np.isnan(cell):
+                return "nan"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

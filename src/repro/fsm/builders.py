@@ -1,0 +1,148 @@
+"""Builders for the FSM topologies used in the paper's experiments.
+
+All builders return a :class:`~repro.fsm.state_machine.ProbabilisticFSM`
+over ``n_queues`` queues (queue 0 reserved for system arrivals).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fsm.state_machine import ProbabilisticFSM
+
+
+def chain_fsm(queue_sequence: Sequence[int], n_queues: int) -> ProbabilisticFSM:
+    """A deterministic chain: every task visits *queue_sequence* in order.
+
+    This models a tandem network (e.g. network -> server -> database) with
+    no branching; it is the simplest sanity-check topology.
+    """
+    queue_sequence = [int(q) for q in queue_sequence]
+    _check_queue_ids(queue_sequence, n_queues)
+    length = len(queue_sequence)
+    n_states = length + 2  # initial + one per visit + final
+    transition = np.zeros((n_states, n_states))
+    emission = np.zeros((n_states, n_queues))
+    for i in range(length):
+        transition[i, i + 1] = 1.0
+        emission[i + 1, queue_sequence[i]] = 1.0
+    transition[length, length + 1] = 1.0
+    transition[length + 1, length + 1] = 1.0
+    return ProbabilisticFSM(
+        transition=transition, emission=emission, initial_state=0, final_state=n_states - 1
+    )
+
+
+def tiered_fsm(
+    tiers: Sequence[Sequence[int]],
+    n_queues: int,
+    weights: Sequence[Sequence[float]] | None = None,
+) -> ProbabilisticFSM:
+    """A multi-tier service: one queue chosen per tier, tiers in order.
+
+    This is the paper's three-tier topology (Figure 1, Section 5.1): each
+    tier is a set of replicated servers and a task is dispatched to exactly
+    one server per tier.
+
+    Parameters
+    ----------
+    tiers:
+        For each tier, the queue indices of its replicated servers.
+    n_queues:
+        Total queue count including the reserved initial queue 0.
+    weights:
+        Optional per-tier dispatch weights (load-balancer behaviour).
+        Defaults to uniform within each tier.
+    """
+    if not tiers or any(len(t) == 0 for t in tiers):
+        raise ConfigurationError("every tier needs at least one queue")
+    flat = [int(q) for tier in tiers for q in tier]
+    _check_queue_ids(flat, n_queues)
+    if weights is None:
+        weights = [[1.0] * len(tier) for tier in tiers]
+    if len(weights) != len(tiers) or any(len(w) != len(t) for w, t in zip(weights, tiers)):
+        raise ConfigurationError("weights must mirror the tier structure")
+    n_tiers = len(tiers)
+    n_states = n_tiers + 2
+    transition = np.zeros((n_states, n_states))
+    emission = np.zeros((n_states, n_queues))
+    for i, (tier, tier_weights) in enumerate(zip(tiers, weights)):
+        transition[i, i + 1] = 1.0
+        w = np.asarray(tier_weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ConfigurationError(f"tier {i} weights must be nonnegative with positive sum")
+        emission[i + 1, list(tier)] = w / w.sum()
+    transition[n_tiers, n_tiers + 1] = 1.0
+    transition[n_tiers + 1, n_tiers + 1] = 1.0
+    return ProbabilisticFSM(
+        transition=transition, emission=emission, initial_state=0, final_state=n_states - 1
+    )
+
+
+def load_balanced_fsm(
+    server_queues: Sequence[int],
+    n_queues: int,
+    weights: Sequence[float] | None = None,
+    pre_queues: Sequence[int] = (),
+    post_queues: Sequence[int] = (),
+) -> ProbabilisticFSM:
+    """Fixed pre-queues, a weighted choice of server, fixed post-queues.
+
+    This is the web-application topology of paper Section 5.2: a network
+    queue, then one of the replicated web servers chosen by the (possibly
+    skewed) load balancer, then the database, then the network queue again.
+    """
+    tiers: list[Sequence[int]] = [[q] for q in pre_queues]
+    tier_weights: list[Sequence[float]] = [[1.0] for _ in pre_queues]
+    tiers.append(list(server_queues))
+    tier_weights.append(
+        list(weights) if weights is not None else [1.0] * len(server_queues)
+    )
+    for q in post_queues:
+        tiers.append([q])
+        tier_weights.append([1.0])
+    return tiered_fsm(tiers, n_queues, weights=tier_weights)
+
+
+def probabilistic_branch_fsm(
+    branch_queues: Sequence[int],
+    branch_probs: Sequence[float],
+    n_queues: int,
+    repeat_prob: float = 0.0,
+) -> ProbabilisticFSM:
+    """A single dispatch state that picks one branch queue, optionally looping.
+
+    With ``repeat_prob > 0`` a task may visit several branch queues before
+    completing — a geometric number of visits, exercising variable-length
+    paths (e.g. retry loops or multi-round RPC patterns).  This goes beyond
+    the paper's fixed-length experiment paths and stress-tests the event
+    graph machinery.
+    """
+    branch_queues = [int(q) for q in branch_queues]
+    _check_queue_ids(branch_queues, n_queues)
+    probs = np.asarray(branch_probs, dtype=float)
+    if probs.shape != (len(branch_queues),) or np.any(probs < 0) or probs.sum() <= 0:
+        raise ConfigurationError("branch_probs must be nonnegative and match branch_queues")
+    if not 0.0 <= repeat_prob < 1.0:
+        raise ConfigurationError(f"repeat_prob must be in [0, 1), got {repeat_prob}")
+    probs = probs / probs.sum()
+    # States: 0 initial, 1 dispatch, 2 final.
+    transition = np.zeros((3, 3))
+    transition[0, 1] = 1.0
+    transition[1, 1] = repeat_prob
+    transition[1, 2] = 1.0 - repeat_prob
+    transition[2, 2] = 1.0
+    emission = np.zeros((3, n_queues))
+    emission[1, branch_queues] = probs
+    return ProbabilisticFSM(transition=transition, emission=emission, initial_state=0, final_state=2)
+
+
+def _check_queue_ids(queue_ids: Sequence[int], n_queues: int) -> None:
+    bad = [q for q in queue_ids if not 1 <= q < n_queues]
+    if bad:
+        raise ConfigurationError(
+            f"queue indices must lie in [1, {n_queues - 1}] (0 is the initial queue); got {bad}"
+        )

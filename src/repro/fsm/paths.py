@@ -1,0 +1,52 @@
+"""Task paths: the realized (state, queue) sequence of one task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TaskPath:
+    """The sequence of FSM states and queue visits of a single task.
+
+    ``states[i]`` is the FSM state the task entered at its i-th transition
+    and ``queues[i]`` the queue that state emitted.  The initial-queue event
+    (system entry at ``q0``) and the final absorbing state are *not* part of
+    the path; a path of length L corresponds to L real queue visits and
+    hence L non-initial events in the event graph.
+    """
+
+    states: tuple[int, ...]
+    queues: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.queues):
+            raise ConfigurationError(
+                f"states and queues must have equal length, got "
+                f"{len(self.states)} vs {len(self.queues)}"
+            )
+        if any(q <= 0 for q in self.queues):
+            raise ConfigurationError(
+                "queue 0 is the reserved initial queue; path queues must be >= 1"
+            )
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_events(self) -> int:
+        """Number of events this path contributes, including the initial event."""
+        return len(self.queues) + 1
+
+    @classmethod
+    def from_queues(cls, queues: tuple[int, ...] | list[int]) -> "TaskPath":
+        """Build a path whose FSM states mirror the queue sequence.
+
+        Convenient when the routing is deterministic and callers only care
+        about which queues are visited; state i is synthesized as i + 1
+        (state 0 being the conventional initial state).
+        """
+        queues = tuple(int(q) for q in queues)
+        return cls(states=tuple(range(1, len(queues) + 1)), queues=queues)

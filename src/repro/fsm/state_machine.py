@@ -1,0 +1,211 @@
+"""The probabilistic FSM that routes tasks through the network.
+
+State conventions
+-----------------
+* States are integers ``0 .. n_states - 1``.
+* State ``initial_state`` is where every task starts; it corresponds to the
+  system-entry event at the designated initial queue ``q0`` (queue index 0).
+* State ``final_state`` is absorbing; entering it completes the task.
+* Emissions map each *non-terminal, non-initial* state to a distribution
+  over real queues (indices ``1 .. n_queues - 1``; queue 0 is reserved for
+  ``q0`` and is never emitted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fsm.paths import TaskPath
+from repro.rng import RandomState, as_generator
+
+_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ProbabilisticFSM:
+    """A finite state machine with stochastic transitions and queue emissions.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic array of shape ``(n_states, n_states)``;
+        ``transition[s, s']`` is ``p(sigma' = s' | sigma = s)``.  The final
+        state's row must be absorbing (all mass on itself).
+    emission:
+        Array of shape ``(n_states, n_queues)``; ``emission[s, q]`` is
+        ``p(q | sigma = s)``.  Column 0 (the initial queue ``q0``) must be
+        zero everywhere; rows for the initial and final states are ignored.
+    initial_state:
+        The state every task starts in.
+    final_state:
+        The absorbing completion state.
+    """
+
+    transition: np.ndarray
+    emission: np.ndarray
+    initial_state: int = 0
+    final_state: int = -1
+    _cum_transition: np.ndarray = field(init=False, repr=False, compare=False)
+    _cum_emission: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        transition = np.asarray(self.transition, dtype=float)
+        emission = np.asarray(self.emission, dtype=float)
+        if transition.ndim != 2 or transition.shape[0] != transition.shape[1]:
+            raise ConfigurationError(f"transition must be square, got shape {transition.shape}")
+        n_states = transition.shape[0]
+        if n_states < 2:
+            raise ConfigurationError("an FSM needs at least an initial and a final state")
+        final = self.final_state % n_states
+        initial = self.initial_state % n_states
+        object.__setattr__(self, "final_state", final)
+        object.__setattr__(self, "initial_state", initial)
+        if initial == final:
+            raise ConfigurationError("initial and final states must differ")
+        if emission.ndim != 2 or emission.shape[0] != n_states:
+            raise ConfigurationError(
+                f"emission must have shape (n_states={n_states}, n_queues), got {emission.shape}"
+            )
+        if emission.shape[1] < 2:
+            raise ConfigurationError("need at least one real queue besides the initial queue q0")
+        if np.any(transition < -_ATOL) or np.any(emission < -_ATOL):
+            raise ConfigurationError("probabilities must be nonnegative")
+        row_sums = transition.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ConfigurationError(f"transition rows must sum to 1, got sums {row_sums}")
+        if transition[final, final] < 1.0 - 1e-9:
+            raise ConfigurationError("the final state must be absorbing")
+        if np.any(emission[:, 0] > _ATOL):
+            raise ConfigurationError("queue 0 is the reserved initial queue and cannot be emitted")
+        for s in range(n_states):
+            if s in (initial, final):
+                continue
+            if not np.isclose(emission[s].sum(), 1.0, atol=1e-6):
+                raise ConfigurationError(
+                    f"emission row for state {s} must sum to 1, got {emission[s].sum()}"
+                )
+        transition = np.clip(transition, 0.0, None)
+        transition /= transition.sum(axis=1, keepdims=True)
+        emission = np.clip(emission, 0.0, None)
+        object.__setattr__(self, "transition", transition)
+        object.__setattr__(self, "emission", emission)
+        object.__setattr__(self, "_cum_transition", np.cumsum(transition, axis=1))
+        object.__setattr__(self, "_cum_emission", np.cumsum(emission, axis=1))
+        if not self._final_state_reachable():
+            raise ConfigurationError("the final state is unreachable from the initial state")
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of FSM states."""
+        return self.transition.shape[0]
+
+    @property
+    def n_queues(self) -> int:
+        """Number of queues including the reserved initial queue 0."""
+        return self.emission.shape[1]
+
+    def _final_state_reachable(self) -> bool:
+        """Check the final state is reachable from the initial state."""
+        reached = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            s = frontier.pop()
+            for t in np.flatnonzero(self.transition[s] > 0.0):
+                t = int(t)
+                if t not in reached:
+                    reached.add(t)
+                    frontier.append(t)
+        return self.final_state in reached
+
+    def expected_visits(self) -> np.ndarray:
+        """Expected number of visits to each *queue* per task.
+
+        Solves the absorbing-chain visit equations: with ``T`` the transient
+        sub-matrix of the transition matrix, expected state visits are
+        ``e_init (I - T)^{-1}`` and queue visits follow through the emission
+        matrix.  Used by the analytic Jackson-network baseline to compute
+        per-queue arrival rates ``lambda_q = lambda * visits_q``.
+        """
+        transient = [s for s in range(self.n_states) if s != self.final_state]
+        idx = {s: i for i, s in enumerate(transient)}
+        t_mat = self.transition[np.ix_(transient, transient)]
+        start = np.zeros(len(transient))
+        start[idx[self.initial_state]] = 1.0
+        visits_states = np.linalg.solve((np.eye(len(transient)) - t_mat).T, start)
+        queue_visits = np.zeros(self.n_queues)
+        for s in transient:
+            if s == self.initial_state:
+                continue
+            queue_visits += visits_states[idx[s]] * self.emission[s]
+        return queue_visits
+
+    # ------------------------------------------------------------------
+    # Sampling and scoring.
+    # ------------------------------------------------------------------
+
+    def sample_path(
+        self,
+        random_state: RandomState = None,
+        max_length: int = 100_000,
+    ) -> TaskPath:
+        """Sample one task path: a sequence of (state, queue) visits.
+
+        The returned path excludes the initial and final states; its i-th
+        entry is the i-th *real* queue visit of the task.
+
+        Raises
+        ------
+        ConfigurationError
+            If the path exceeds *max_length* transitions, which indicates a
+            (numerically) non-absorbing FSM.
+        """
+        rng = as_generator(random_state)
+        states: list[int] = []
+        queues: list[int] = []
+        state = self.initial_state
+        for _ in range(max_length):
+            u = rng.uniform()
+            state = int(np.searchsorted(self._cum_transition[state], u, side="right"))
+            state = min(state, self.n_states - 1)
+            if state == self.final_state:
+                return TaskPath(states=tuple(states), queues=tuple(queues))
+            u = rng.uniform()
+            queue = int(np.searchsorted(self._cum_emission[state], u, side="right"))
+            queue = min(queue, self.n_queues - 1)
+            states.append(state)
+            queues.append(queue)
+        raise ConfigurationError(
+            f"path did not reach the final state within {max_length} transitions"
+        )
+
+    def path_log_prob(self, path: TaskPath) -> float:
+        """Log-probability of a complete task path (including final absorption)."""
+        log_p = 0.0
+        prev = self.initial_state
+        for state, queue in zip(path.states, path.queues):
+            p_trans = self.transition[prev, state]
+            p_emit = self.emission[state, queue]
+            if p_trans <= 0.0 or p_emit <= 0.0:
+                return -np.inf
+            log_p += float(np.log(p_trans) + np.log(p_emit))
+            prev = state
+        p_final = self.transition[prev, self.final_state]
+        if p_final <= 0.0:
+            return -np.inf
+        return log_p + float(np.log(p_final))
+
+    def iter_sample_paths(
+        self, n: int, random_state: RandomState = None
+    ) -> Iterator[TaskPath]:
+        """Yield *n* independent task paths from a single stream."""
+        rng = as_generator(random_state)
+        for _ in range(n):
+            yield self.sample_path(rng)

@@ -1,0 +1,240 @@
+"""Local conditional distributions for the Gibbs moves (paper Eq. 2–4).
+
+Resampling the arrival ``a_e`` of a non-initial event changes exactly three
+service times (paper Figure 2):
+
+* ``s_e``            — the event's own service, term ``mu_e (d_e - max(a_e, d_rho(e)))``;
+* ``s_pi(e)``        — the within-task predecessor's service, term
+  ``mu_pi(e) (a_e - max(a_pi(e), d_rho(pi(e))))``;
+* ``s_rho^-1(pi(e))`` — the service of the next event at the predecessor's
+  queue, term ``mu_pi(e) (d_rho^-1(pi(e)) - max(a_e, a_rho^-1(pi(e))))``.
+
+With the arrival order fixed, ``a_e`` is confined to
+
+    L = max(a_pi(e), d_rho(pi(e)), a_rho(e))
+    U = min(d_e, a_rho^-1(e), d_rho^-1(pi(e)))
+
+and within ``(L, U)`` the log-density is piecewise linear with breakpoints
+at ``d_rho(e)`` (the event's own max switches) and ``a_rho^-1(pi(e))`` (the
+third term's max switches) — at most three exponential pieces, the paper's
+``Z1, Z2, Z3`` decomposition.
+
+A second move handles the departure of a task's *last* event, which is not
+any successor's arrival: its conditional has at most two pieces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.events import EventSet
+from repro.inference.piecewise import PiecewiseExponential
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class ArrivalNeighborhood:
+    """The Markov blanket of one arrival move (paper Figure 2).
+
+    All times are read from the current state of the event set; missing
+    neighbors are reported as ``±inf`` so the bound formulas apply verbatim.
+    """
+
+    event: int
+    pi_event: int
+    mu_e: float
+    mu_pi: float
+    d_e: float
+    d_rho_e: float
+    a_rho_e: float
+    a_rho_inv_e: float
+    a_pi: float
+    d_rho_pi: float
+    a_rho_inv_pi: float
+    d_rho_inv_pi: float
+    self_loop: bool
+
+    @property
+    def lower(self) -> float:
+        """The constraint lower bound ``L``."""
+        return max(self.a_pi, self.d_rho_pi, self.a_rho_e)
+
+    @property
+    def upper(self) -> float:
+        """The constraint upper bound ``U``."""
+        return min(self.d_e, self.a_rho_inv_e, self.d_rho_inv_pi)
+
+
+def markov_blanket(events: EventSet, e: int) -> dict[str, list[int]]:
+    """The variables involved in resampling ``a_e`` (paper Figure 2).
+
+    Returns a mapping with the events whose *service times* the move
+    changes (``resampled``) and the events whose times are read but held
+    fixed (``fixed``).  This is the data behind the paper's Figure 2
+    illustration and demonstrates the sampler's O(1) Markov blanket.
+    """
+    p = int(events.pi[e])
+    if p < 0:
+        raise InferenceError(f"event {e} is an initial event")
+    resampled = [int(e), p]
+    rho_inv_p = int(events.rho_inv[p])
+    if rho_inv_p >= 0 and rho_inv_p != e:
+        resampled.append(rho_inv_p)
+    fixed = []
+    for neighbor in (
+        events.rho[e],
+        events.rho_inv[e],
+        events.rho[p],
+        events.rho_inv[p],
+    ):
+        neighbor = int(neighbor)
+        if neighbor >= 0 and neighbor != e and neighbor not in resampled:
+            fixed.append(neighbor)
+    return {"resampled": resampled, "fixed": fixed}
+
+
+def arrival_neighborhood(
+    events: EventSet, e: int, rates: np.ndarray
+) -> ArrivalNeighborhood:
+    """Extract the five-variable neighborhood of event *e*'s arrival move."""
+    p = int(events.pi[e])
+    if p < 0:
+        raise InferenceError(
+            f"event {e} is an initial event; its arrival is fixed at clock 0"
+        )
+    q_e = int(events.queue[e])
+    q_p = int(events.queue[p])
+    rho_e = int(events.rho[e])
+    self_loop = rho_e == p
+    # Own queue neighbors.
+    d_rho_e = float(events.departure[rho_e]) if rho_e >= 0 else -_INF
+    a_rho_e = float(events.arrival[rho_e]) if rho_e >= 0 else -_INF
+    rho_inv_e = int(events.rho_inv[e])
+    a_rho_inv_e = float(events.arrival[rho_inv_e]) if rho_inv_e >= 0 else _INF
+    # Predecessor queue neighbors.
+    a_pi = float(events.arrival[p])
+    rho_p = int(events.rho[p])
+    d_rho_pi = float(events.departure[rho_p]) if rho_p >= 0 else -_INF
+    rho_inv_p = int(events.rho_inv[p])
+    if rho_inv_p >= 0 and rho_inv_p != e:
+        a_rho_inv_pi = float(events.arrival[rho_inv_p])
+        d_rho_inv_pi = float(events.departure[rho_inv_p])
+    else:
+        # Either pi(e) is currently the last arrival at its queue, or the
+        # "next event at the earlier queue" is e itself (task revisits the
+        # same queue back-to-back) — in both cases the third term vanishes.
+        a_rho_inv_pi = _INF
+        d_rho_inv_pi = _INF
+    return ArrivalNeighborhood(
+        event=int(e),
+        pi_event=p,
+        mu_e=float(rates[q_e]),
+        mu_pi=float(rates[q_p]),
+        d_e=float(events.departure[e]),
+        d_rho_e=-_INF if self_loop else d_rho_e,
+        a_rho_e=a_rho_e,
+        a_rho_inv_e=a_rho_inv_e,
+        a_pi=a_pi,
+        d_rho_pi=d_rho_pi,
+        a_rho_inv_pi=a_rho_inv_pi,
+        d_rho_inv_pi=d_rho_inv_pi,
+        self_loop=self_loop,
+    )
+
+
+def arrival_conditional(
+    events: EventSet, e: int, rates: np.ndarray
+) -> PiecewiseExponential | None:
+    """Build ``p(a_e | E \\ e)`` as a piecewise-exponential density.
+
+    Returns ``None`` when the constraint interval has (numerically) zero
+    width, in which case the move must keep the current value.
+
+    Notes
+    -----
+    The slope of the log-density on each region is assembled from the three
+    terms of Eq. (2):
+
+    * ``-mu_pi`` everywhere (term 2 is linear in ``a_e`` on all of (L, U));
+    * ``+mu_e``  once ``a_e > d_rho(e)`` (term 1's max switches to ``a_e``);
+    * ``+mu_pi`` once ``a_e > a_rho^-1(pi(e))`` (term 3's max switches).
+
+    With the breakpoints ordered this reproduces the paper's three cases:
+    slope ``-mu_pi`` on (L, A), slope ``0`` or ``mu_e - mu_pi`` (the paper's
+    ``delta_mu``) on (A, B), slope ``+mu_e`` on (B, U).
+
+    In the *self-loop* case (``rho(e) == pi(e)``, a task visiting the same
+    queue twice in a row with no interleaving arrival), term 1 is always
+    active and term 3 is absent, leaving a single piece with slope
+    ``mu_e - mu_pi``; the neighborhood extractor encodes this by pushing the
+    breakpoints to ``-inf``/``+inf``.
+    """
+    nb = arrival_neighborhood(events, e, rates)
+    lower, upper = nb.lower, nb.upper
+    if not (upper - lower > 0.0) or not math.isfinite(lower) or not math.isfinite(upper):
+        return None
+    bp_own = nb.d_rho_e  # term 1 switches here
+    bp_pi = nb.a_rho_inv_pi  # term 3 switches here
+    knots = [lower]
+    for bp in sorted((bp_own, bp_pi)):
+        if lower < bp < upper:
+            knots.append(bp)
+    knots.append(upper)
+    slopes = []
+    for i in range(len(knots) - 1):
+        mid = 0.5 * (knots[i] + knots[i + 1])
+        slope = -nb.mu_pi
+        if mid > bp_own:
+            slope += nb.mu_e
+        if mid > bp_pi:
+            slope += nb.mu_pi
+        slopes.append(slope)
+    return PiecewiseExponential(knots, slopes)
+
+
+def final_departure_conditional(
+    events: EventSet, e: int, rates: np.ndarray
+) -> PiecewiseExponential | None:
+    """Build the conditional for the departure of a task's last event.
+
+    The move changes ``s_e`` and (if a later event exists at the queue)
+    ``s_rho^-1(e)``; the log-density has slope ``-mu_e`` below
+    ``a_rho^-1(e)`` and slope 0 above, on the interval
+
+        ( max(a_e, d_rho(e)),  d_rho^-1(e) )
+
+    with an exponential tail to ``+inf`` when no later event exists.
+    """
+    if events.pi_inv[e] != -1:
+        raise InferenceError(
+            f"event {e} is not the last of its task; its departure is the "
+            "successor's arrival and is resampled by the arrival move"
+        )
+    q_e = int(events.queue[e])
+    mu_e = float(rates[q_e])
+    rho_e = int(events.rho[e])
+    lower = float(events.arrival[e])
+    if rho_e >= 0:
+        lower = max(lower, float(events.departure[rho_e]))
+    rho_inv_e = int(events.rho_inv[e])
+    if rho_inv_e < 0:
+        # No later arrival at this queue: a single exponential tail.
+        return PiecewiseExponential([lower, _INF], [-mu_e])
+    upper = float(events.departure[rho_inv_e])
+    if not (upper - lower > 0.0):
+        return None
+    bp = float(events.arrival[rho_inv_e])
+    knots = [lower]
+    if lower < bp < upper:
+        knots.append(bp)
+    knots.append(upper)
+    slopes = []
+    for i in range(len(knots) - 1):
+        mid = 0.5 * (knots[i] + knots[i + 1])
+        slopes.append(-mu_e if mid <= bp else 0.0)
+    return PiecewiseExponential(knots, slopes)

@@ -1,0 +1,281 @@
+"""The Gibbs sampler over unobserved event times (paper Section 3).
+
+A *sweep* resamples, one at a time, every latent scalar of the trace:
+
+* the arrival ``a_e`` of every non-initial event whose arrival was not
+  measured (which simultaneously moves ``d_pi(e)``, the same quantity), and
+* the departure of every task-final event that was not measured.
+
+Each move draws exactly from the local conditional (paper Eq. 2–4, built by
+:mod:`repro.inference.conditional`), so the sweep is a systematic-scan
+Gibbs kernel whose stationary distribution is the posterior
+``p(E | O, mu)``.
+
+The cost of a sweep is linear in the number of latent variables and
+independent of the number of queues — the scaling property the paper calls
+out in Section 5.2 and that ``benchmarks/bench_scaling.py`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.events import EventSet
+from repro.inference.conditional import arrival_conditional, final_departure_conditional
+from repro.observation import ObservedTrace
+from repro.rng import RandomState, as_generator
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for one Gibbs sweep."""
+
+    n_moves: int = 0
+    n_skipped: int = 0
+
+    @property
+    def n_attempted(self) -> int:
+        """Total latent variables visited."""
+        return self.n_moves + self.n_skipped
+
+
+class GibbsSampler:
+    """Systematic-scan Gibbs sampler for an M/M/1/FIFO queueing network.
+
+    Parameters
+    ----------
+    trace:
+        The observed (censored) trace; defines which variables are latent.
+    state:
+        A *feasible* event set whose observed entries match the trace and
+        whose latent entries hold the current sample.  Produced by an
+        initializer (:func:`~repro.inference.init_heuristic.heuristic_initialize`
+        or :func:`~repro.inference.init_lp.lp_initialize`); mutated in place.
+    rates:
+        Exponential rate per queue (index 0 = arrival rate ``lambda``).
+        Update via :meth:`set_rates` between sweeps for StEM.
+    random_state:
+        Seed or generator for all moves.
+    shuffle:
+        Visit latent variables in a fresh random order every sweep (default);
+        with ``False`` the scan order is the event index order.
+    """
+
+    def __init__(
+        self,
+        trace: ObservedTrace,
+        state: EventSet,
+        rates: np.ndarray,
+        random_state: RandomState = None,
+        shuffle: bool = True,
+    ) -> None:
+        self.trace = trace
+        self.state = state
+        self._rates = np.asarray(rates, dtype=float).copy()
+        if self._rates.shape != (state.n_queues,):
+            raise InferenceError(
+                f"expected {state.n_queues} rates, got shape {self._rates.shape}"
+            )
+        if np.any(~np.isfinite(self._rates)) or np.any(self._rates <= 0.0):
+            raise InferenceError("all rates must be positive and finite")
+        self.rng = as_generator(random_state)
+        self.shuffle = shuffle
+        self._arrival_moves = trace.latent_arrival_events.copy()
+        self._departure_moves = trace.latent_departure_events.copy()
+        if np.any(np.isnan(state.arrival)) or np.any(np.isnan(state.departure)):
+            raise InferenceError(
+                "the state still contains nan times; run an initializer first"
+            )
+        self.n_sweeps_done = 0
+
+    # ------------------------------------------------------------------
+    # Parameters.
+    # ------------------------------------------------------------------
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Current rate vector (copy; use :meth:`set_rates` to change)."""
+        return self._rates.copy()
+
+    def set_rates(self, rates: np.ndarray) -> None:
+        """Replace the rate vector (the StEM M-step hook)."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self._rates.shape:
+            raise InferenceError(f"rate vector shape changed: {rates.shape}")
+        if np.any(~np.isfinite(rates)) or np.any(rates <= 0.0):
+            raise InferenceError("all rates must be positive and finite")
+        self._rates = rates.copy()
+
+    @property
+    def n_latent(self) -> int:
+        """Number of latent scalars resampled per sweep."""
+        return self._arrival_moves.size + self._departure_moves.size
+
+    # ------------------------------------------------------------------
+    # Sweeping.
+    # ------------------------------------------------------------------
+
+    def sweep(self) -> SweepStats:
+        """Resample every latent variable once; returns move statistics."""
+        stats = SweepStats()
+        arrivals = self._arrival_moves
+        departures = self._departure_moves
+        if self.shuffle:
+            arrivals = self.rng.permutation(arrivals)
+            departures = self.rng.permutation(departures)
+        state = self.state
+        rates = self._rates
+        for e in arrivals:
+            dist = arrival_conditional(state, int(e), rates)
+            if dist is None:
+                stats.n_skipped += 1
+                continue
+            state.set_arrival(int(e), dist.sample(self.rng))
+            stats.n_moves += 1
+        for e in departures:
+            dist = final_departure_conditional(state, int(e), rates)
+            if dist is None:
+                stats.n_skipped += 1
+                continue
+            state.set_final_departure(int(e), dist.sample(self.rng))
+            stats.n_moves += 1
+        self.n_sweeps_done += 1
+        return stats
+
+    def run(self, n_sweeps: int) -> list[SweepStats]:
+        """Run *n_sweeps* sweeps; returns per-sweep statistics."""
+        return [self.sweep() for _ in range(n_sweeps)]
+
+    # ------------------------------------------------------------------
+    # Posterior sample collection.
+    # ------------------------------------------------------------------
+
+    def collect(
+        self,
+        n_samples: int,
+        thin: int = 1,
+        burn_in: int = 0,
+    ) -> "PosteriorSamples":
+        """Run the chain and collect per-queue summaries at each kept sweep.
+
+        Parameters
+        ----------
+        n_samples:
+            Number of retained samples.
+        thin:
+            Sweeps between retained samples.
+        burn_in:
+            Sweeps discarded before collection starts.
+        """
+        if n_samples < 1 or thin < 1 or burn_in < 0:
+            raise InferenceError("need n_samples >= 1, thin >= 1, burn_in >= 0")
+        self.run(burn_in)
+        n_queues = self.state.n_queues
+        mean_service = np.empty((n_samples, n_queues))
+        mean_waiting = np.empty((n_samples, n_queues))
+        total_service = np.empty((n_samples, n_queues))
+        log_joint = np.empty(n_samples)
+        for i in range(n_samples):
+            self.run(thin)
+            mean_service[i] = self.state.mean_service_by_queue()
+            mean_waiting[i] = self.state.mean_waiting_by_queue()
+            total_service[i] = self.state.total_service_by_queue()
+            log_joint[i] = self.state.log_joint(self._rates)
+        return PosteriorSamples(
+            mean_service=mean_service,
+            mean_waiting=mean_waiting,
+            total_service=total_service,
+            log_joint=log_joint,
+            events_per_queue=self.state.events_per_queue(),
+        )
+
+
+@dataclass
+class PosteriorSamples:
+    """Per-sweep posterior draws of queue-level summaries.
+
+    Attributes
+    ----------
+    mean_service / mean_waiting:
+        Arrays of shape ``(n_samples, n_queues)``: the realized per-queue
+        mean service/waiting time of each retained latent-state sample.
+    total_service:
+        Per-queue summed service times (the M-step sufficient statistic).
+    log_joint:
+        Eq. (1) log-density of each retained sample.
+    events_per_queue:
+        Event counts (constant across samples; kept for convenience).
+    """
+
+    mean_service: np.ndarray
+    mean_waiting: np.ndarray
+    total_service: np.ndarray
+    log_joint: np.ndarray
+    events_per_queue: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def n_samples(self) -> int:
+        """Number of retained posterior draws."""
+        return self.mean_service.shape[0]
+
+    @staticmethod
+    def _nan_reduce(reducer, values: np.ndarray) -> np.ndarray:
+        # Queues with no events produce all-nan columns (e.g. a server the
+        # balancer never picked); nan is the intended answer there, so the
+        # "mean of empty slice" warning is noise.
+        with np.errstate(invalid="ignore"):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", category=RuntimeWarning)
+                return reducer(values, axis=0)
+
+    def posterior_mean_service(self) -> np.ndarray:
+        """Posterior-mean of the per-queue mean service time."""
+        return self._nan_reduce(np.nanmean, self.mean_service)
+
+    def posterior_mean_waiting(self) -> np.ndarray:
+        """Posterior-mean of the per-queue mean waiting time."""
+        return self._nan_reduce(np.nanmean, self.mean_waiting)
+
+    def posterior_std_service(self) -> np.ndarray:
+        """Posterior standard deviation of the per-queue mean service time."""
+        return self._nan_reduce(np.nanstd, self.mean_service)
+
+    def posterior_std_waiting(self) -> np.ndarray:
+        """Posterior standard deviation of the per-queue mean waiting time."""
+        return self._nan_reduce(np.nanstd, self.mean_waiting)
+
+    def credible_interval(
+        self, kind: str = "waiting", level: float = 0.9
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Equal-tailed posterior credible interval per queue.
+
+        Parameters
+        ----------
+        kind:
+            ``"waiting"`` or ``"service"``.
+        level:
+            Central coverage, e.g. 0.9 for a 5%-95% interval.
+
+        Returns
+        -------
+        (lower, upper)
+            Arrays of shape ``(n_queues,)``; nan for queues with no events.
+        """
+        if kind not in ("waiting", "service"):
+            raise InferenceError(f"kind must be 'waiting' or 'service', got {kind!r}")
+        if not 0.0 < level < 1.0:
+            raise InferenceError(f"level must lie in (0, 1), got {level}")
+        values = self.mean_waiting if kind == "waiting" else self.mean_service
+        alpha = (1.0 - level) / 2.0
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            lower = np.nanquantile(values, alpha, axis=0)
+            upper = np.nanquantile(values, 1.0 - alpha, axis=0)
+        return lower, upper

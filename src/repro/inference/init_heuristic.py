@@ -1,0 +1,266 @@
+"""Feasible initialization of the latent times, without an LP.
+
+The Gibbs sampler needs a starting state satisfying every deterministic
+constraint (paper Section 3: "initializing the Gibbs sampler requires
+finding arrival times for the unobserved events that are feasible...").
+The paper solves a linear program (see :mod:`repro.inference.init_lp`);
+this module provides a fast constraint-propagation alternative used by
+default for large traces and compared against the LP in the ``abl-init``
+ablation benchmark.
+
+Approach: every event contributes one *time point* — its departure
+``D(e)`` (arrivals are aliases: ``a_e = D(pi(e))``, and initial events
+arrive at the constant 0).  The deterministic constraints become a partial
+order over the ``D`` variables:
+
+* ``D(pi(e)) <= D(e)``     (service starts after arrival),
+* ``D(rho(e)) <= D(e)``    (FIFO departures),
+* ``D(pi(rho(e))) <= D(pi(e))``  (the frozen arrival order at e's queue).
+
+Observed variables are constants.  We topologically sort the constraint
+DAG, propagate upper bounds backward from the observed anchors, then assign
+latent values forward, aiming each event's service time at the current mean
+``1 / mu_q`` — the same objective the paper's LP minimizes, greedily.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import InfeasibleInitializationError
+from repro.events import EventSet
+from repro.observation import ObservedTrace
+
+_TOL = 1e-9
+
+
+def _departure_anchor(trace: ObservedTrace, e: int) -> float | None:
+    """The observed value of ``D(e)``, or ``None`` if latent."""
+    skeleton = trace.skeleton
+    succ = skeleton.pi_inv[e]
+    if succ >= 0:
+        if trace.arrival_observed[succ]:
+            return float(skeleton.arrival[succ])
+        return None
+    if trace.departure_observed[e]:
+        return float(skeleton.departure[e])
+    return None
+
+
+def constraint_edges(skeleton: EventSet) -> list[tuple[int, int]]:
+    """All ``D(u) <= D(v)`` edges implied by the deterministic constraints."""
+    edges: list[tuple[int, int]] = []
+    n = skeleton.n_events
+    for e in range(n):
+        p = int(skeleton.pi[e])
+        r = int(skeleton.rho[e])
+        if p >= 0:
+            edges.append((p, e))
+        if r >= 0:
+            edges.append((r, e))
+        if p >= 0 and r >= 0:
+            pr = int(skeleton.pi[r])
+            if pr >= 0:
+                edges.append((pr, p))
+    return edges
+
+
+def _topological_order(n: int, edges: list[tuple[int, int]]) -> np.ndarray:
+    """Kahn's algorithm; raises when the constraint graph has a cycle."""
+    succs: list[list[int]] = [[] for _ in range(n)]
+    indeg = np.zeros(n, dtype=np.int64)
+    for u, v in edges:
+        succs[u].append(v)
+        indeg[v] += 1
+    queue = deque(int(i) for i in np.flatnonzero(indeg == 0))
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    while queue:
+        u = queue.popleft()
+        order[pos] = u
+        pos += 1
+        for v in succs[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if pos != n:
+        raise InfeasibleInitializationError(
+            "the deterministic constraints contain a cycle; "
+            "the trace skeleton is corrupted"
+        )
+    return order
+
+
+def heuristic_initialize(
+    trace: ObservedTrace,
+    rates: np.ndarray,
+) -> EventSet:
+    """Fill all latent times with a feasible, service-targeted assignment.
+
+    Parameters
+    ----------
+    trace:
+        The observed trace to initialize.
+    rates:
+        Current exponential rates (index 0 = arrival rate); each latent
+        departure is placed so the event's service time is as close to
+        ``1 / mu_q`` as the constraints allow.
+
+    Returns
+    -------
+    EventSet
+        A fresh, fully valid event set ready for Gibbs sampling.
+
+    Raises
+    ------
+    InfeasibleInitializationError
+        If the observations are mutually inconsistent.
+    """
+    skeleton = trace.skeleton
+    rates = np.asarray(rates, dtype=float)
+    n = skeleton.n_events
+    anchors: list[float | None] = [_departure_anchor(trace, e) for e in range(n)]
+    edges = constraint_edges(skeleton)
+    order = _topological_order(n, edges)
+    preds: list[list[int]] = [[] for _ in range(n)]
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        preds[v].append(u)
+        succs[u].append(v)
+
+    # Backward pass: tightest upper bound reachable from observed anchors.
+    hi = np.full(n, np.inf)
+    for e in order[::-1]:
+        anchor = anchors[e]
+        if anchor is not None:
+            if anchor > hi[e] + _TOL:
+                raise InfeasibleInitializationError(
+                    f"observed departure of event {e} ({anchor:.6g}) exceeds "
+                    f"an upper bound ({hi[e]:.6g}) implied by later observations"
+                )
+            hi[e] = anchor
+        for u in preds[e]:
+            hi[u] = min(hi[u], hi[e])
+
+    # Forward pass: assign values in topological order.
+    values = np.empty(n)
+    for e in order:
+        lower = 0.0
+        for u in preds[e]:
+            lower = max(lower, values[u])
+        anchor = anchors[e]
+        if anchor is not None:
+            if anchor < lower - _TOL:
+                raise InfeasibleInitializationError(
+                    f"observed departure of event {e} ({anchor:.6g}) precedes "
+                    f"a lower bound ({lower:.6g}) implied by earlier observations"
+                )
+            values[e] = max(anchor, lower)
+            continue
+        target = 1.0 / rates[skeleton.queue[e]]
+        upper = hi[e]
+        if np.isinf(upper):
+            values[e] = lower + target
+        elif upper <= lower:
+            values[e] = lower
+        else:
+            values[e] = lower + min(target, 0.5 * (upper - lower))
+
+    state = skeleton.copy()
+    state.departure[:] = values
+    init_mask = skeleton.seq == 0
+    state.arrival[init_mask] = 0.0
+    non_init = np.flatnonzero(~init_mask)
+    state.arrival[non_init] = values[skeleton.pi[non_init]]
+    state.validate(atol=1e-6)
+    return state
+
+
+def _observed_throughput(trace: ObservedTrace, q: int) -> float:
+    """Busy-average processing rate of queue *q* from observed departures.
+
+    Uses the frozen queue order: between the first and last event at *q*
+    with an observation-pinned departure there are a known number of
+    events, so ``(# events between) / (time between)`` estimates the rate
+    at which the server turned events around.  Returns 0 when fewer than
+    two departures are pinned (the caller falls back to the other proxy).
+    """
+    skeleton = trace.skeleton
+    order = skeleton.queue_order(q)
+    pinned = [
+        (pos, float(skeleton.departure[e]))
+        for pos, e in enumerate(order)
+        if trace.departure_is_fixed(int(e))
+    ]
+    if len(pinned) < 2:
+        return 0.0
+    (pos_a, dep_a), (pos_b, dep_b) = pinned[0], pinned[-1]
+    if dep_b <= dep_a or pos_b <= pos_a:
+        return 0.0
+    return (pos_b - pos_a) / (dep_b - dep_a)
+
+
+def initial_rates_from_observed(
+    trace: ObservedTrace, service_quantile: float = 0.25
+) -> np.ndarray:
+    """A crude but safe starting rate vector from observed data alone.
+
+    Per queue we take a *low quantile* of the observed response times
+    (arrival observed and departure pinned by an observation) as the
+    service-time proxy and invert it.  Responses are service + waiting, so
+    the mean response wildly overestimates service on loaded queues (and a
+    mean-based initialization starts StEM so far off that the chain takes
+    hundreds of sweeps to drain the bias); the lower tail of the response
+    distribution — requests that arrived at a momentarily idle server — is
+    a far better proxy.  The arrival rate is estimated from the span of
+    observed system entries.  Queues without any observed pair fall back to
+    the global statistic.
+    """
+    skeleton = trace.skeleton
+    n_queues = skeleton.n_queues
+    responses: list[list[float]] = [[] for _ in range(n_queues)]
+    entry_times: list[float] = []
+    for e in range(skeleton.n_events):
+        if not trace.arrival_observed[e]:
+            continue
+        if skeleton.seq[e] == 1:
+            entry_times.append(float(skeleton.arrival[e]))
+        if not trace.departure_is_fixed(e):
+            continue
+        q = int(skeleton.queue[e])
+        if q == 0:
+            continue
+        r = float(skeleton.departure[e] - skeleton.arrival[e])
+        if r > 0.0:
+            responses[q].append(r)
+    all_responses = [r for rs in responses for r in rs]
+    global_proxy = (
+        float(np.quantile(all_responses, service_quantile)) if all_responses else 1.0
+    )
+    rates = np.empty(n_queues)
+    for q in range(1, n_queues):
+        if responses[q]:
+            proxy = float(np.quantile(responses[q], service_quantile))
+        else:
+            proxy = global_proxy
+        quantile_rate = 1.0 / max(proxy, 1e-12)
+        # Second proxy: the queue's observed processing *throughput*.  The
+        # event counters tell us how many events sit between two observed
+        # departures, so (position gap) / (departure time gap) estimates the
+        # busy-average service rate — nearly exact for a saturated queue,
+        # where the response-quantile proxy is hopeless because every
+        # response is waiting-dominated.  Both proxies underestimate mu, so
+        # take the larger.
+        throughput_rate = _observed_throughput(trace, q)
+        rates[q] = max(quantile_rate, throughput_rate)
+    if len(entry_times) >= 2:
+        entry_times.sort()
+        span = entry_times[-1] - entry_times[0]
+        # The observed entries are a subsample; the *total* task count over
+        # roughly the same span gives a better rate estimate.
+        rates[0] = max(skeleton.n_tasks - 1, 1) / max(span, 1e-12)
+    else:
+        rates[0] = 1.0 / max(global_mean, 1e-12)
+    return rates

@@ -1,0 +1,76 @@
+"""The M-step: maximum-likelihood rates from a completed event set.
+
+With all arrivals and departures filled in, the service times are
+deterministic functions of the times (paper Section 2) and the M/M/1
+likelihood factorizes per queue into exponential likelihoods, so the MLE is
+the classic
+
+    mu_q = (# events at q) / (total service time at q),
+
+and — thanks to the initial-queue convention — the arrival rate ``lambda``
+is the *same formula* applied to queue 0, whose "service" times are the
+interarrival gaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.events import EventSet
+
+
+def mle_rates(
+    events: EventSet,
+    min_rate: float = 1e-9,
+    max_rate: float = 1e12,
+    prior_strength: float = 0.0,
+    prior_rates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exponential-rate MLE per queue (index 0 = arrival rate).
+
+    Parameters
+    ----------
+    events:
+        A completed (feasible) event set.
+    min_rate / max_rate:
+        Clamps protecting StEM from degenerate sweeps where a queue's total
+        sampled service time collapses to ~0 (rate would explode) or where a
+        queue served almost nothing.
+    prior_strength / prior_rates:
+        Optional conjugate regularization: acts like ``prior_strength``
+        pseudo-events with mean service ``1 / prior_rates[q]`` at each
+        queue.  ``prior_strength = 0`` (default) gives the pure MLE of the
+        paper's M-step.
+
+    Returns
+    -------
+    numpy.ndarray
+        Rates of shape ``(n_queues,)``.
+
+    Raises
+    ------
+    InferenceError
+        If any service time is negative (the event set is infeasible).
+    """
+    services = events.service_times()
+    if np.any(services < -1e-9):
+        raise InferenceError(
+            f"cannot take an M-step on an infeasible event set "
+            f"(min service {services.min():.3e})"
+        )
+    services = np.maximum(services, 0.0)
+    counts = events.events_per_queue().astype(float)
+    totals = np.zeros(events.n_queues)
+    np.add.at(totals, events.queue, services)
+    if prior_strength > 0.0:
+        if prior_rates is None:
+            raise InferenceError("prior_strength > 0 requires prior_rates")
+        prior_rates = np.asarray(prior_rates, dtype=float)
+        counts = counts + prior_strength
+        totals = totals + prior_strength / np.maximum(prior_rates, min_rate)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = counts / totals
+    rates[~np.isfinite(rates)] = max_rate
+    rates[counts == 0.0] = min_rate
+    return np.clip(rates, min_rate, max_rate)

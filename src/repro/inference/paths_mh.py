@@ -1,0 +1,189 @@
+"""Metropolis-Hastings resampling of unknown FSM paths (paper Section 3).
+
+"First, we assume the FSM paths ``(sigma_e, q_e)`` for all events are
+known.  If these paths are unknown for some events, they can be resampled
+by an outer Metropolis-Hastings step."
+
+The practically important unknown is *which replicated server* handled an
+unobserved event: the FSM state (e.g. "web tier") is known from the
+protocol, but the balancer's choice ``q_e ~ p(q | sigma_e)`` was never
+logged.  This module implements that outer MH step:
+
+* a **proposal** draws a fresh queue from the emission prior
+  ``p(q | sigma_e)``, so the prior terms cancel and the acceptance ratio
+  reduces to the likelihood ratio of the (at most three) service times the
+  reassignment changes;
+* the **move** relocates the event into the proposed queue's arrival order
+  at its current arrival time (:meth:`repro.events.EventSet.reassign_queue`)
+  and is rejected outright when the FIFO constraints would be violated
+  (negative service anywhere in the new neighborhood).
+
+Interleave :meth:`PathResampler.sweep` with
+:meth:`~repro.inference.gibbs.GibbsSampler.sweep` to sample jointly over
+times and assignments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.events import EventSet
+from repro.fsm import ProbabilisticFSM
+from repro.rng import RandomState, as_generator
+
+
+def tier_candidates_from_fsm(
+    events: EventSet, fsm: ProbabilisticFSM, unknown_events: np.ndarray
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Candidate queues and prior probabilities for each unknown event.
+
+    Reads each event's recorded FSM state and returns the support of the
+    emission distribution ``p(q | sigma_e)``.  Events whose stored state is
+    missing (-1) are rejected — the caller must know the state (the paper's
+    protocol assumption) even when the emitted queue is unknown.
+    """
+    out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for e in np.asarray(unknown_events, dtype=int):
+        sigma = int(events.state[e])
+        if sigma < 0:
+            raise InferenceError(
+                f"event {e} has no recorded FSM state; cannot build candidates"
+            )
+        row = fsm.emission[sigma]
+        support = np.flatnonzero(row > 0.0)
+        if support.size == 0:
+            raise InferenceError(f"FSM state {sigma} emits no queues")
+        out[int(e)] = (support.astype(np.int64), row[support] / row[support].sum())
+    return out
+
+
+@dataclass
+class PathSweepStats:
+    """Acceptance bookkeeping for one path-resampling sweep."""
+
+    n_proposed: int = 0
+    n_accepted: int = 0
+    n_self: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted fraction among real (non-self) proposals."""
+        real = self.n_proposed - self.n_self
+        return self.n_accepted / real if real else 1.0
+
+
+class PathResampler:
+    """Outer MH sampler over the unknown queue assignments.
+
+    Parameters
+    ----------
+    state:
+        The current (feasible) event set; mutated in place.
+    candidates:
+        Mapping from event index to ``(queues, probs)`` — the emission
+        support for that event (see :func:`tier_candidates_from_fsm`).
+    rates:
+        Current exponential rates (update via :meth:`set_rates` in EM loops).
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        state: EventSet,
+        candidates: dict[int, tuple[np.ndarray, np.ndarray]],
+        rates: np.ndarray,
+        random_state: RandomState = None,
+    ) -> None:
+        self.state = state
+        self.candidates = {
+            int(e): (np.asarray(qs, dtype=np.int64), np.asarray(ps, dtype=float))
+            for e, (qs, ps) in candidates.items()
+        }
+        for e, (qs, ps) in self.candidates.items():
+            if state.seq[e] == 0:
+                raise InferenceError(f"event {e} is an initial event; not reassignable")
+            if int(state.queue[e]) not in set(qs.tolist()):
+                raise InferenceError(
+                    f"event {e}'s current queue {state.queue[e]} is outside "
+                    f"its candidate set {qs}"
+                )
+            if np.any(ps <= 0.0) or not np.isclose(ps.sum(), 1.0):
+                raise InferenceError(f"event {e}: candidate probabilities must be a pmf")
+        self._rates = np.asarray(rates, dtype=float).copy()
+        self.rng = as_generator(random_state)
+
+    def set_rates(self, rates: np.ndarray) -> None:
+        """Replace the rate vector (for EM interleaving)."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self._rates.shape:
+            raise InferenceError("rate vector shape changed")
+        self._rates = rates.copy()
+
+    # ------------------------------------------------------------------
+
+    def _neighborhood_log_lik(self, affected: set[int]) -> float:
+        """Likelihood contribution of the given events; -inf if infeasible."""
+        total = 0.0
+        state = self.state
+        for x in affected:
+            s = state.service_time_of(x)
+            if s < 0.0:
+                return -math.inf
+            mu = self._rates[state.queue[x]]
+            total += math.log(mu) - mu * s
+        return total
+
+    def _propose(self, e: int) -> bool:
+        """One MH proposal for event *e*; returns True if accepted."""
+        queues, probs = self.candidates[e]
+        q_new = int(queues[int(self.rng.choice(queues.size, p=probs))])
+        state = self.state
+        q_old = int(state.queue[e])
+        if q_new == q_old:
+            return True
+        # Events whose service the move can change: e itself, its current
+        # within-queue successor (loses predecessor e), and — after the
+        # move — its new successor (gains predecessor e).  Collect the
+        # "before" set, move, then union with the "after" set.
+        affected = {e}
+        if state.rho_inv[e] >= 0:
+            affected.add(int(state.rho_inv[e]))
+        # The new successor is only known after the move; collect it, then
+        # undo so the "before" likelihood is evaluated on the full union at
+        # the old configuration.
+        state.reassign_queue(e, q_new)
+        if state.rho_inv[e] >= 0:
+            affected.add(int(state.rho_inv[e]))
+        state.reassign_queue(e, q_old)
+        before = self._neighborhood_log_lik(affected)
+        state.reassign_queue(e, q_new)
+        after = self._neighborhood_log_lik(affected)
+        if after == -math.inf:
+            state.reassign_queue(e, q_old)
+            return False
+        log_alpha = after - before
+        if log_alpha >= 0.0 or self.rng.uniform() < math.exp(log_alpha):
+            return True
+        state.reassign_queue(e, q_old)
+        return False
+
+    def sweep(self) -> PathSweepStats:
+        """Propose one move for every unknown assignment (random order)."""
+        stats = PathSweepStats()
+        order = self.rng.permutation(np.array(sorted(self.candidates), dtype=np.int64))
+        for e in order:
+            e = int(e)
+            q_before = int(self.state.queue[e])
+            accepted = self._propose(e)
+            stats.n_proposed += 1
+            if accepted:
+                if int(self.state.queue[e]) == q_before:
+                    stats.n_self += 1
+                else:
+                    stats.n_accepted += 1
+        return stats

@@ -1,0 +1,99 @@
+"""Posterior summaries of per-queue service and waiting times.
+
+Paper Section 4: "Once a point estimate mu-hat of the mean service times is
+available, an estimate of the waiting time can be obtained by running the
+Gibbs sampler with mu-hat fixed."  This module packages exactly that:
+posterior means (and spreads) of the realized per-queue mean waiting and
+service times under fixed parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inference.gibbs import GibbsSampler, PosteriorSamples
+from repro.inference.init_heuristic import initial_rates_from_observed
+from repro.inference.stem import initialize_state
+from repro.observation import ObservedTrace
+from repro.rng import RandomState, as_generator
+
+
+@dataclass
+class PosteriorSummary:
+    """Queue-level posterior estimates at fixed parameters.
+
+    Attributes
+    ----------
+    rates:
+        The (fixed) parameter vector used during sampling.
+    service_mean / service_std:
+        Posterior mean/std of the realized per-queue mean service time.
+        Note the *model* mean service time is ``1 / rates``; the realized
+        mean over the finite trace differs by sampling noise.
+    waiting_mean / waiting_std:
+        Posterior mean/std of the realized per-queue mean waiting time —
+        the quantity used to localize load-induced bottlenecks.
+    samples:
+        The raw :class:`~repro.inference.gibbs.PosteriorSamples`.
+    """
+
+    rates: np.ndarray
+    service_mean: np.ndarray
+    service_std: np.ndarray
+    waiting_mean: np.ndarray
+    waiting_std: np.ndarray
+    samples: PosteriorSamples
+
+    @property
+    def n_queues(self) -> int:
+        """Number of queues (including the arrival pseudo-queue 0)."""
+        return self.rates.size
+
+
+def estimate_posterior(
+    trace: ObservedTrace,
+    rates: np.ndarray | None = None,
+    n_samples: int = 50,
+    burn_in: int = 20,
+    thin: int = 1,
+    init_method: str = "auto",
+    state=None,
+    random_state: RandomState = None,
+) -> PosteriorSummary:
+    """Run the Gibbs sampler at fixed rates and summarize the posterior.
+
+    Parameters
+    ----------
+    trace:
+        The observed trace.
+    rates:
+        Fixed parameter vector (e.g. a StEM estimate).  Defaults to the
+        crude observed-response initialization — only sensible for smoke
+        tests; real callers should pass a StEM/MCEM estimate.
+    n_samples, burn_in, thin:
+        Chain schedule (see :meth:`~repro.inference.gibbs.GibbsSampler.collect`).
+    init_method:
+        Latent-time initializer when *state* is not supplied.
+    state:
+        Optional pre-initialized (e.g. warm) event set; mutated in place.
+    random_state:
+        Seed or generator.
+    """
+    rng = as_generator(random_state)
+    if rates is None:
+        rates = initial_rates_from_observed(trace)
+    rates = np.asarray(rates, dtype=float)
+    if state is None:
+        state = initialize_state(trace, rates, method=init_method)
+    sampler = GibbsSampler(trace, state, rates, random_state=rng)
+    samples = sampler.collect(n_samples=n_samples, thin=thin, burn_in=burn_in)
+    return PosteriorSummary(
+        rates=rates.copy(),
+        service_mean=samples.posterior_mean_service(),
+        service_std=samples.posterior_std_service(),
+        waiting_mean=samples.posterior_mean_waiting(),
+        waiting_std=samples.posterior_std_waiting(),
+        samples=samples,
+    )

@@ -1,0 +1,148 @@
+"""Stochastic EM (paper Section 4).
+
+StEM alternates
+
+* **E-step**: replace the unobserved times with the output of *one* Gibbs
+  sweep at the current parameters (not a full posterior expectation), and
+* **M-step**: the closed-form exponential MLE of :mod:`repro.inference.mstep`.
+
+Unlike Monte-Carlo EM, the iterates do not converge pointwise — they
+converge to a stationary *distribution* concentrated near the MLE — so the
+returned point estimate averages the post-burn-in iterates, the standard
+practice for SEM-type algorithms [Celeux & Diebolt 1985; Celeux 1992].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.events import EventSet
+from repro.inference.gibbs import GibbsSampler
+from repro.inference.init_heuristic import heuristic_initialize, initial_rates_from_observed
+from repro.inference.init_lp import lp_initialize
+from repro.inference.mstep import mle_rates
+from repro.observation import ObservedTrace
+from repro.rng import RandomState, as_generator
+
+
+@dataclass
+class StEMResult:
+    """Output of a stochastic-EM run.
+
+    Attributes
+    ----------
+    rates:
+        The point estimate: post-burn-in average of the rate iterates
+        (index 0 = arrival rate ``lambda``).
+    rates_history:
+        All iterates, shape ``(n_iterations + 1, n_queues)``; row 0 is the
+        initialization.
+    sampler:
+        The Gibbs sampler in its final state — reusable for posterior
+        summaries at the estimated parameters.
+    burn_in:
+        Number of leading iterates excluded from the average.
+    """
+
+    rates: np.ndarray
+    rates_history: np.ndarray
+    sampler: GibbsSampler
+    burn_in: int
+
+    @property
+    def arrival_rate(self) -> float:
+        """Estimated system arrival rate ``lambda``."""
+        return float(self.rates[0])
+
+    def mean_service_times(self) -> np.ndarray:
+        """Estimated mean service time per queue, ``1 / mu_q``."""
+        return 1.0 / self.rates
+
+    def iterate_std(self) -> np.ndarray:
+        """Std of the post-burn-in iterates (a stability diagnostic)."""
+        return self.rates_history[self.burn_in :].std(axis=0)
+
+
+def initialize_state(
+    trace: ObservedTrace,
+    rates: np.ndarray,
+    method: str = "auto",
+    lp_size_limit: int = 6000,
+) -> EventSet:
+    """Build a feasible starting state with the requested initializer.
+
+    ``method`` is ``"lp"``, ``"heuristic"``, or ``"auto"`` (LP when the
+    trace has at most *lp_size_limit* events, else the heuristic — the LP is
+    exact but its solve time grows superlinearly).
+    """
+    if method == "auto":
+        method = "lp" if trace.skeleton.n_events <= lp_size_limit else "heuristic"
+    if method == "lp":
+        return lp_initialize(trace, rates)
+    if method == "heuristic":
+        return heuristic_initialize(trace, rates)
+    raise InferenceError(f"unknown initialization method {method!r}")
+
+
+def run_stem(
+    trace: ObservedTrace,
+    n_iterations: int = 200,
+    burn_in: int | None = None,
+    initial_rates: np.ndarray | None = None,
+    init_method: str = "auto",
+    sweeps_per_iteration: int = 1,
+    random_state: RandomState = None,
+    shuffle: bool = True,
+) -> StEMResult:
+    """Estimate ``lambda`` and all ``mu_q`` from an incomplete trace.
+
+    Parameters
+    ----------
+    trace:
+        The observed trace.
+    n_iterations:
+        Number of StEM iterations (each = E-sweep + M-step).
+    burn_in:
+        Iterates discarded before averaging; defaults to ``n_iterations // 2``.
+    initial_rates:
+        Starting rates; default derives them from observed responses via
+        :func:`~repro.inference.init_heuristic.initial_rates_from_observed`.
+    init_method:
+        Latent-time initializer: ``"lp"``, ``"heuristic"``, or ``"auto"``.
+    sweeps_per_iteration:
+        Gibbs sweeps per E-step.  The paper's StEM uses 1; larger values
+        interpolate toward Monte-Carlo EM.
+    random_state, shuffle:
+        Randomness controls (see :class:`~repro.inference.gibbs.GibbsSampler`).
+    """
+    if n_iterations < 1:
+        raise InferenceError(f"need at least one iteration, got {n_iterations}")
+    if burn_in is None:
+        burn_in = n_iterations // 2
+    if not 0 <= burn_in < n_iterations:
+        raise InferenceError(
+            f"burn_in must lie in [0, n_iterations), got {burn_in}/{n_iterations}"
+        )
+    rng = as_generator(random_state)
+    rates = (
+        np.asarray(initial_rates, dtype=float).copy()
+        if initial_rates is not None
+        else initial_rates_from_observed(trace)
+    )
+    state = initialize_state(trace, rates, method=init_method)
+    sampler = GibbsSampler(trace, state, rates, random_state=rng, shuffle=shuffle)
+    history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
+    history[0] = rates
+    for it in range(1, n_iterations + 1):
+        sampler.run(sweeps_per_iteration)
+        rates = mle_rates(sampler.state)
+        sampler.set_rates(rates)
+        history[it] = rates
+    estimate = history[burn_in:].mean(axis=0)
+    sampler.set_rates(estimate)
+    return StEMResult(
+        rates=estimate, rates_history=history, sampler=sampler, burn_in=burn_in
+    )

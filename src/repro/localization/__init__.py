@@ -1,0 +1,33 @@
+"""Performance-fault localization (the paper's motivating application).
+
+Sections 1 and 5 frame the inference machinery as a diagnosis tool:
+estimate each queue's service time (intrinsic speed) and waiting time
+(load-induced delay) from a thin trace sample, then
+
+* rank queues by their contribution to response time to find the
+  **bottleneck**, and
+* compare service vs waiting to decide whether a slow component is
+  *intrinsically* slow (service dominates — e.g. a failing disk) or simply
+  *overloaded* (waiting dominates — fix by adding capacity, not by fixing
+  the component).
+
+This package turns :class:`~repro.inference.PosteriorSummary` estimates
+into that diagnosis, including the paper's "slow requests" analysis
+(which components receive the most load during the worst-p% requests).
+"""
+
+from repro.localization.bottleneck import (
+    QueueDiagnosis,
+    diagnose,
+    rank_bottlenecks,
+    slow_request_profile,
+)
+from repro.localization.report import render_report
+
+__all__ = [
+    "QueueDiagnosis",
+    "diagnose",
+    "rank_bottlenecks",
+    "slow_request_profile",
+    "render_report",
+]

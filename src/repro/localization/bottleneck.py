@@ -1,0 +1,146 @@
+"""Bottleneck ranking and intrinsic-vs-load diagnosis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.events import EventSet
+from repro.inference.posterior import PosteriorSummary
+
+#: Waiting must exceed service by this factor to call a queue "overloaded";
+#: below 1/factor we call it "intrinsic"; in between, "mixed".
+_DOMINANCE_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class QueueDiagnosis:
+    """Diagnosis of one queue.
+
+    Attributes
+    ----------
+    queue:
+        Queue index.
+    name:
+        Queue name, when the caller supplied names.
+    service / waiting:
+        Estimated mean service and waiting times.
+    sojourn:
+        ``service + waiting`` — this queue's per-visit latency contribution.
+    verdict:
+        ``"overloaded"`` (waiting-dominated), ``"intrinsic"``
+        (service-dominated), or ``"mixed"``.
+    """
+
+    queue: int
+    name: str
+    service: float
+    waiting: float
+    verdict: str
+
+    @property
+    def sojourn(self) -> float:
+        """Per-visit latency contribution of this queue."""
+        return self.service + self.waiting
+
+
+def diagnose(
+    summary: PosteriorSummary,
+    queue_names: tuple[str, ...] | None = None,
+) -> list[QueueDiagnosis]:
+    """Classify every real queue as overloaded / intrinsic / mixed.
+
+    Parameters
+    ----------
+    summary:
+        Posterior service/waiting estimates (from
+        :func:`~repro.inference.estimate_posterior`).
+    queue_names:
+        Optional names (index 0 = the arrival queue, ignored).
+    """
+    n_queues = summary.n_queues
+    if queue_names is not None and len(queue_names) != n_queues:
+        raise ConfigurationError(
+            f"got {len(queue_names)} names for {n_queues} queues"
+        )
+    out = []
+    for q in range(1, n_queues):
+        service = float(summary.service_mean[q])
+        waiting = float(summary.waiting_mean[q])
+        if not np.isfinite(service):
+            verdict = "no-data"
+            service = float("nan")
+            waiting = float("nan")
+        elif waiting > _DOMINANCE_FACTOR * service:
+            verdict = "overloaded"
+        elif service > _DOMINANCE_FACTOR * waiting:
+            verdict = "intrinsic"
+        else:
+            verdict = "mixed"
+        name = queue_names[q] if queue_names is not None else f"queue-{q}"
+        out.append(
+            QueueDiagnosis(queue=q, name=name, service=service, waiting=waiting, verdict=verdict)
+        )
+    return out
+
+
+def rank_bottlenecks(
+    summary: PosteriorSummary,
+    queue_names: tuple[str, ...] | None = None,
+) -> list[QueueDiagnosis]:
+    """Queues sorted by per-visit latency contribution, worst first."""
+    diagnoses = diagnose(summary, queue_names)
+    return sorted(
+        diagnoses,
+        key=lambda d: d.sojourn if np.isfinite(d.sojourn) else -1.0,
+        reverse=True,
+    )
+
+
+def slow_request_profile(
+    events: EventSet, percentile: float = 99.0
+) -> dict[str, np.ndarray]:
+    """Where do the slowest requests spend their time? (Paper Section 1.)
+
+    Selects the tasks whose end-to-end response exceeds the given
+    percentile and decomposes their latency per queue, alongside the same
+    decomposition for all tasks — "the bottleneck for slow requests could
+    be very different than the bottleneck for average requests".
+
+    Returns
+    -------
+    dict
+        ``slow_waiting``/``slow_service``: per-queue mean over slow tasks'
+        events; ``all_waiting``/``all_service``: over everything;
+        ``slow_tasks``: the selected task ids.
+    """
+    if not 0.0 < percentile < 100.0:
+        raise ConfigurationError(f"percentile must be in (0, 100), got {percentile}")
+    responses = events.task_response_times()
+    task_ids = np.array(sorted(responses))
+    values = np.array([responses[t] for t in task_ids])
+    threshold = np.percentile(values, percentile)
+    slow_tasks = task_ids[values >= threshold]
+    slow_mask = np.zeros(events.n_events, dtype=bool)
+    for t in slow_tasks:
+        slow_mask[events.events_of_task(int(t))] = True
+    waits = events.waiting_times()
+    services = events.service_times()
+    n_queues = events.n_queues
+    slow_waiting = np.full(n_queues, np.nan)
+    slow_service = np.full(n_queues, np.nan)
+    for q in range(1, n_queues):
+        members = events.queue_order(q)
+        chosen = members[slow_mask[members]]
+        if chosen.size:
+            slow_waiting[q] = float(waits[chosen].mean())
+            slow_service[q] = float(services[chosen].mean())
+    return {
+        "slow_tasks": slow_tasks,
+        "slow_waiting": slow_waiting,
+        "slow_service": slow_service,
+        "all_waiting": events.mean_waiting_by_queue(),
+        "all_service": events.mean_service_by_queue(),
+    }

@@ -1,0 +1,31 @@
+"""Plain-text diagnosis reports."""
+
+from __future__ import annotations
+
+from repro.localization.bottleneck import QueueDiagnosis
+
+
+def render_report(diagnoses: list[QueueDiagnosis], top: int | None = None) -> str:
+    """Render a ranked bottleneck table as fixed-width text.
+
+    Parameters
+    ----------
+    diagnoses:
+        Output of :func:`~repro.localization.bottleneck.rank_bottlenecks`
+        (order is preserved).
+    top:
+        Limit to the worst *top* queues (default: all).
+    """
+    rows = diagnoses if top is None else diagnoses[:top]
+    name_width = max([len(d.name) for d in rows] + [len("queue")])
+    header = (
+        f"{'rank':>4}  {'queue':<{name_width}}  {'service':>10}  "
+        f"{'waiting':>10}  {'sojourn':>10}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for rank, d in enumerate(rows, start=1):
+        lines.append(
+            f"{rank:>4}  {d.name:<{name_width}}  {d.service:>10.4f}  "
+            f"{d.waiting:>10.4f}  {d.sojourn:>10.4f}  {d.verdict}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Model checking via posterior predictive simulation (paper §6: "model selection").
+
+Did the fitted M/M/1 network actually explain the data?  The generative
+view makes this checkable: simulate replicate traces from the fitted
+model, censor them with the same observation scheme, and compare summary
+statistics of the *observed* portions — response-time quantiles,
+interarrival SCV — between reality and replicates.  Statistics far outside
+the replicate distribution flag misspecification (wrong service family,
+non-homogeneous arrivals, missing queues).
+"""
+
+from repro.model_checking.ppc import (
+    PPCResult,
+    observed_statistics,
+    posterior_predictive_check,
+)
+
+__all__ = [
+    "posterior_predictive_check",
+    "observed_statistics",
+    "PPCResult",
+]

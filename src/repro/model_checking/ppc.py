@@ -1,0 +1,149 @@
+"""Posterior predictive checks for fitted queueing networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.network import QueueingNetwork
+from repro.observation import ObservedTrace
+from repro.rng import RandomState, spawn
+from repro.simulate import simulate_network
+
+#: Statistics computed from the observed portion of a trace.
+STATISTIC_NAMES = (
+    "response_p50",
+    "response_p90",
+    "response_p99",
+    "interarrival_mean",
+    "interarrival_scv",
+)
+
+
+def observed_statistics(trace: ObservedTrace) -> dict[str, float]:
+    """Summary statistics of the *observed* portion of a trace.
+
+    Uses only information a real deployment would have: end-to-end
+    responses of fully observed tasks and gaps between observed entries.
+    """
+    skeleton = trace.skeleton
+    responses = []
+    entries = []
+    for task_id in skeleton.task_ids:
+        idx = skeleton.events_of_task(task_id)
+        non_init = idx[skeleton.seq[idx] != 0]
+        if non_init.size == 0 or not np.all(trace.arrival_observed[non_init]):
+            continue
+        if not trace.departure_is_fixed(int(idx[-1])):
+            continue
+        entry = float(skeleton.arrival[idx[1]])
+        exit_ = float(skeleton.departure[idx[-1]])
+        responses.append(exit_ - entry)
+        entries.append(entry)
+    if len(responses) < 3:
+        raise InferenceError(
+            "need at least three fully observed tasks for predictive checks"
+        )
+    responses = np.asarray(responses)
+    gaps = np.diff(np.sort(entries))
+    gaps = gaps[gaps > 0]
+    scv = float(gaps.var() / gaps.mean() ** 2) if gaps.size >= 2 else float("nan")
+    return {
+        "response_p50": float(np.percentile(responses, 50)),
+        "response_p90": float(np.percentile(responses, 90)),
+        "response_p99": float(np.percentile(responses, 99)),
+        "interarrival_mean": float(gaps.mean()) if gaps.size else float("nan"),
+        "interarrival_scv": scv,
+    }
+
+
+@dataclass
+class PPCResult:
+    """Posterior-predictive comparison of one trace against replicates.
+
+    Attributes
+    ----------
+    observed:
+        Statistic values on the real (censored) trace.
+    replicates:
+        Statistic values per simulated replicate, keyed by statistic.
+    p_values:
+        Two-sided tail probabilities ``2 * min(P(rep <= obs), P(rep >= obs))``;
+        small values flag statistics the fitted model cannot reproduce.
+    """
+
+    observed: dict[str, float]
+    replicates: dict[str, np.ndarray]
+    p_values: dict[str, float]
+
+    def flagged(self, alpha: float = 0.05) -> list[str]:
+        """Statistics whose predictive p-value falls below *alpha*."""
+        return [
+            name for name, p in self.p_values.items()
+            if np.isfinite(p) and p < alpha
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when no statistic is flagged at the 5 % level."""
+        return not self.flagged()
+
+
+def posterior_predictive_check(
+    trace: ObservedTrace,
+    fitted_network: QueueingNetwork,
+    observe_fraction: float,
+    n_replicates: int = 20,
+    n_tasks: int | None = None,
+    random_state: RandomState = None,
+) -> PPCResult:
+    """Compare the observed trace against replicates from the fitted model.
+
+    Parameters
+    ----------
+    trace:
+        The real censored trace.
+    fitted_network:
+        The network with StEM-estimated rates
+        (``original.with_rates(stem.rates)``).
+    observe_fraction:
+        The observation rate used on the real trace; replicates are
+        censored identically.
+    n_replicates:
+        Simulated replicate traces.
+    n_tasks:
+        Tasks per replicate (defaults to the real trace's task count).
+    """
+    from repro.observation import TaskSampling
+
+    if n_tasks is None:
+        n_tasks = trace.skeleton.n_tasks
+    observed = observed_statistics(trace)
+    reps: dict[str, list[float]] = {name: [] for name in STATISTIC_NAMES}
+    streams = spawn(random_state, 2 * n_replicates)
+    for r in range(n_replicates):
+        sim = simulate_network(fitted_network, n_tasks, random_state=streams[2 * r])
+        rep_trace = TaskSampling(fraction=observe_fraction).observe(
+            sim.events, random_state=streams[2 * r + 1]
+        )
+        try:
+            stats = observed_statistics(rep_trace)
+        except InferenceError:
+            continue
+        for name in STATISTIC_NAMES:
+            reps[name].append(stats[name])
+    replicates = {name: np.asarray(vals) for name, vals in reps.items()}
+    p_values = {}
+    for name in STATISTIC_NAMES:
+        vals = replicates[name]
+        vals = vals[np.isfinite(vals)]
+        obs = observed[name]
+        if vals.size < 5 or not np.isfinite(obs):
+            p_values[name] = float("nan")
+            continue
+        lo = float(np.mean(vals <= obs))
+        hi = float(np.mean(vals >= obs))
+        p_values[name] = min(1.0, 2.0 * min(lo, hi))
+    return PPCResult(observed=observed, replicates=replicates, p_values=p_values)

@@ -1,0 +1,26 @@
+"""Queueing-network topologies (paper Figure 1).
+
+A :class:`~repro.network.topology.QueueingNetwork` bundles the set of queues
+(each a single-server FIFO station with a service distribution), the routing
+FSM, and the system arrival process (represented, per the paper's
+convention, as the "service" distribution of the reserved initial queue
+``q0`` at index 0).
+"""
+
+from repro.network.queue import QueueSpec
+from repro.network.topology import QueueingNetwork
+from repro.network.builders import (
+    build_load_balanced_network,
+    build_tandem_network,
+    build_three_tier_network,
+    paper_synthetic_structures,
+)
+
+__all__ = [
+    "QueueSpec",
+    "QueueingNetwork",
+    "build_tandem_network",
+    "build_three_tier_network",
+    "build_load_balanced_network",
+    "paper_synthetic_structures",
+]

@@ -1,0 +1,154 @@
+"""Network builders for the paper's experimental topologies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distributions import Exponential, ServiceDistribution
+from repro.errors import ConfigurationError
+from repro.fsm import chain_fsm, load_balanced_fsm, tiered_fsm
+from repro.network.queue import QueueSpec
+from repro.network.topology import INITIAL_QUEUE_NAME, QueueingNetwork
+
+
+def build_tandem_network(
+    arrival_rate: float,
+    service_rates: Sequence[float],
+    names: Sequence[str] | None = None,
+) -> QueueingNetwork:
+    """A tandem (series) network: every task visits queue 1, 2, ..., K in order.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda``.
+    service_rates:
+        Exponential service rate of each station, in visiting order.
+    names:
+        Optional station names; defaults to ``q1 .. qK``.
+    """
+    service_rates = list(service_rates)
+    if not service_rates:
+        raise ConfigurationError("a tandem network needs at least one station")
+    if names is None:
+        names = [f"q{i + 1}" for i in range(len(service_rates))]
+    names = list(names)
+    if len(names) != len(service_rates):
+        raise ConfigurationError("names and service_rates must have equal length")
+    n_queues = len(service_rates) + 1
+    fsm = chain_fsm(list(range(1, n_queues)), n_queues)
+    services: dict[str, ServiceDistribution] = {
+        INITIAL_QUEUE_NAME: Exponential(rate=arrival_rate)
+    }
+    for name, rate in zip(names, service_rates):
+        services[name] = Exponential(rate=rate)
+    return QueueingNetwork(
+        queue_names=tuple([INITIAL_QUEUE_NAME, *names]), services=services, fsm=fsm
+    )
+
+
+def build_three_tier_network(
+    arrival_rate: float,
+    servers_per_tier: Sequence[int],
+    service_rate: float = 5.0,
+    tier_names: Sequence[str] = ("web", "app", "db"),
+) -> QueueingNetwork:
+    """The paper's synthetic three-tier topology (Section 5.1, Figure 1).
+
+    Each tier holds ``servers_per_tier[t]`` replicated single-server queues;
+    a task is dispatched uniformly to one server per tier.  The paper sets
+    ``arrival_rate = 10`` and every ``service_rate = 5`` so a 1-server tier
+    is heavily overloaded (offered load 2.0), a 2-server tier barely
+    overloaded (1.0), and a 4-server tier moderately loaded (0.5).
+    """
+    servers_per_tier = [int(k) for k in servers_per_tier]
+    if len(servers_per_tier) != len(tier_names):
+        raise ConfigurationError("servers_per_tier and tier_names must have equal length")
+    if any(k < 1 for k in servers_per_tier):
+        raise ConfigurationError("every tier needs at least one server")
+    names = [INITIAL_QUEUE_NAME]
+    tiers: list[list[int]] = []
+    for tier_name, k in zip(tier_names, servers_per_tier):
+        tier_queues = []
+        for j in range(k):
+            tier_queues.append(len(names))
+            names.append(f"{tier_name}-{j}" if k > 1 else tier_name)
+        tiers.append(tier_queues)
+    fsm = tiered_fsm(tiers, n_queues=len(names))
+    services: dict[str, ServiceDistribution] = {
+        INITIAL_QUEUE_NAME: Exponential(rate=arrival_rate)
+    }
+    for name in names[1:]:
+        services[name] = Exponential(rate=service_rate)
+    return QueueingNetwork(queue_names=tuple(names), services=services, fsm=fsm)
+
+
+def paper_synthetic_structures() -> list[tuple[str, tuple[int, int, int]]]:
+    """The five three-tier structures of the synthetic experiment.
+
+    The paper generates data "from five different network structures, with
+    differing numbers of queues at each tier, in order to vary the system
+    bottleneck" but does not enumerate them.  We use five distinct
+    arrangements of {1, 2, 4} servers so that the heavily-overloaded tier
+    (1 server), the barely-overloaded tier (2 servers), and the moderately
+    loaded tier (4 servers) each appear in different positions.
+    """
+    return [
+        ("S1", (1, 2, 4)),
+        ("S2", (1, 4, 2)),
+        ("S3", (2, 1, 4)),
+        ("S4", (4, 1, 2)),
+        ("S5", (4, 2, 1)),
+    ]
+
+
+def build_load_balanced_network(
+    arrival_rate: float,
+    server_rates: Sequence[float],
+    weights: Sequence[float] | None = None,
+    pre: Sequence[tuple[str, float]] = (),
+    post: Sequence[tuple[str, float]] = (),
+    server_prefix: str = "server",
+) -> QueueingNetwork:
+    """Pre-stations -> weighted choice of server -> post-stations.
+
+    Generalizes the web-application topology: *pre* and *post* are
+    ``(name, rate)`` stations every task visits before/after the balanced
+    server tier.  Station names may repeat between pre and post to model
+    revisits (e.g. the network queue on both request and response legs);
+    repeated names share one queue.
+    """
+    server_rates = list(server_rates)
+    if not server_rates:
+        raise ConfigurationError("need at least one balanced server")
+    names = [INITIAL_QUEUE_NAME]
+    services: dict[str, ServiceDistribution] = {
+        INITIAL_QUEUE_NAME: Exponential(rate=arrival_rate)
+    }
+
+    def intern(name: str, rate: float) -> int:
+        if name in names:
+            idx = names.index(name)
+            existing = services[name]
+            if not isinstance(existing, Exponential) or existing.rate != rate:
+                raise ConfigurationError(
+                    f"station {name!r} redefined with a different rate"
+                )
+            return idx
+        names.append(name)
+        services[name] = Exponential(rate=rate)
+        return len(names) - 1
+
+    pre_idx = [intern(name, rate) for name, rate in pre]
+    server_idx = [
+        intern(f"{server_prefix}-{j}", rate) for j, rate in enumerate(server_rates)
+    ]
+    post_idx = [intern(name, rate) for name, rate in post]
+    fsm = load_balanced_fsm(
+        server_queues=server_idx,
+        n_queues=len(names),
+        weights=list(weights) if weights is not None else None,
+        pre_queues=pre_idx,
+        post_queues=post_idx,
+    )
+    return QueueingNetwork(queue_names=tuple(names), services=services, fsm=fsm)

@@ -1,0 +1,63 @@
+"""A single FIFO queueing station."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributions import Exponential, ServiceDistribution
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """Specification of one single-server FIFO queue.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier ("db", "web-3", ...); must be unique
+        within a network.
+    service:
+        The service-time distribution.  The paper's inference assumes
+        :class:`~repro.distributions.Exponential`; the simulator accepts any
+        :class:`~repro.distributions.ServiceDistribution`.
+    """
+
+    name: str
+    service: ServiceDistribution
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("queue name must be non-empty")
+        if not isinstance(self.service, ServiceDistribution):
+            raise ConfigurationError(
+                f"service must be a ServiceDistribution, got {type(self.service).__name__}"
+            )
+
+    @property
+    def is_markovian(self) -> bool:
+        """Whether this queue satisfies the M/M/1 service assumption."""
+        return isinstance(self.service, Exponential)
+
+    @property
+    def rate(self) -> float:
+        """Service rate if exponential, else raise.
+
+        Inference code paths require exponential service; accessing ``rate``
+        on a non-Markovian queue is a programming error surfaced eagerly.
+        """
+        if not isinstance(self.service, Exponential):
+            raise ConfigurationError(
+                f"queue {self.name!r} has non-exponential service "
+                f"({type(self.service).__name__}); no scalar rate exists"
+            )
+        return self.service.rate
+
+    @property
+    def mean_service(self) -> float:
+        """Mean service time of this queue."""
+        return self.service.mean
+
+    def with_service(self, service: ServiceDistribution) -> "QueueSpec":
+        """Return a copy of this spec with a different service distribution."""
+        return QueueSpec(name=self.name, service=service)

@@ -1,0 +1,209 @@
+"""The queueing network: queues + routing FSM + arrival process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.distributions import Exponential, ServiceDistribution
+from repro.errors import ConfigurationError
+from repro.fsm import ProbabilisticFSM
+from repro.rng import RandomState
+
+#: Name of the reserved initial queue whose "service" times are the system
+#: interarrival times (paper Section 2, last paragraph).
+INITIAL_QUEUE_NAME = "__arrivals__"
+
+
+@dataclass(frozen=True)
+class QueueingNetwork:
+    """A network of single-server FIFO queues routed by a probabilistic FSM.
+
+    The network follows the paper's convention that system arrivals are
+    represented by a designated initial queue at index 0: all tasks "arrive"
+    there at time 0, are served FIFO, and their departure times from queue 0
+    are the system entry times.  Hence the interarrival distribution is
+    simply queue 0's service distribution (rate ``lambda`` for a Poisson
+    arrival stream).
+
+    Parameters
+    ----------
+    queue_names:
+        Names of all queues; index 0 must be the initial queue.
+    services:
+        Mapping from queue name to its service distribution.  The entry for
+        the initial queue is the interarrival distribution.
+    fsm:
+        Routing FSM over these queues (emission width must equal the number
+        of queues).
+    """
+
+    queue_names: tuple[str, ...]
+    services: Mapping[str, ServiceDistribution]
+    fsm: ProbabilisticFSM
+
+    def __post_init__(self) -> None:
+        names = tuple(self.queue_names)
+        if len(names) < 2:
+            raise ConfigurationError("a network needs the initial queue plus at least one queue")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"queue names must be unique, got {names}")
+        if names[0] != INITIAL_QUEUE_NAME:
+            raise ConfigurationError(
+                f"queue 0 must be named {INITIAL_QUEUE_NAME!r} (the reserved arrival queue); "
+                f"got {names[0]!r}"
+            )
+        missing = [n for n in names if n not in self.services]
+        if missing:
+            raise ConfigurationError(f"missing service distributions for queues: {missing}")
+        extra = [n for n in self.services if n not in names]
+        if extra:
+            raise ConfigurationError(f"service distributions for unknown queues: {extra}")
+        for name, dist in self.services.items():
+            if not isinstance(dist, ServiceDistribution):
+                raise ConfigurationError(
+                    f"service for queue {name!r} must be a ServiceDistribution, "
+                    f"got {type(dist).__name__}"
+                )
+        if self.fsm.n_queues != len(names):
+            raise ConfigurationError(
+                f"FSM emits over {self.fsm.n_queues} queues but the network has {len(names)}"
+            )
+        object.__setattr__(self, "queue_names", names)
+        object.__setattr__(self, "services", dict(self.services))
+
+    # ------------------------------------------------------------------
+    # Lookups.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_queues(self) -> int:
+        """Total queue count including the initial queue."""
+        return len(self.queue_names)
+
+    def queue_index(self, name: str) -> int:
+        """Index of the queue called *name*."""
+        try:
+            return self.queue_names.index(name)
+        except ValueError:
+            raise ConfigurationError(f"no queue named {name!r} in this network") from None
+
+    def service_of(self, queue: int | str) -> ServiceDistribution:
+        """Service distribution of a queue, by index or name."""
+        name = queue if isinstance(queue, str) else self.queue_names[queue]
+        return self.services[name]
+
+    @property
+    def interarrival(self) -> ServiceDistribution:
+        """The system interarrival distribution (= initial queue's service)."""
+        return self.services[INITIAL_QUEUE_NAME]
+
+    @property
+    def arrival_rate(self) -> float:
+        """System arrival rate ``lambda`` (requires exponential interarrivals)."""
+        dist = self.interarrival
+        if not isinstance(dist, Exponential):
+            raise ConfigurationError(
+                "arrival_rate is only defined for Poisson arrivals "
+                f"(exponential interarrivals), got {type(dist).__name__}"
+            )
+        return dist.rate
+
+    def is_markovian(self) -> bool:
+        """True when every queue (and the arrival stream) is exponential."""
+        return all(isinstance(d, Exponential) for d in self.services.values())
+
+    def rates_vector(self) -> np.ndarray:
+        """Array of exponential rates indexed by queue (index 0 = lambda).
+
+        This is the parameter vector the paper's StEM estimates.  Raises if
+        any queue is non-exponential.
+        """
+        rates = np.empty(self.n_queues)
+        for i, name in enumerate(self.queue_names):
+            dist = self.services[name]
+            if not isinstance(dist, Exponential):
+                raise ConfigurationError(
+                    f"queue {name!r} is not exponential; no rates vector exists"
+                )
+            rates[i] = dist.rate
+        return rates
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+
+    def per_queue_arrival_rates(self) -> np.ndarray:
+        """Long-run arrival rate into each queue, ``lambda * E[visits_q]``.
+
+        Uses the FSM's expected visit counts; exact for any absorbing FSM.
+        Entry 0 reports the system arrival rate itself.
+        """
+        visits = self.fsm.expected_visits()
+        lam = self.arrival_rate
+        rates = lam * visits
+        rates[0] = lam
+        return rates
+
+    def utilizations(self) -> np.ndarray:
+        """Offered load ``rho_q = lambda_q / mu_q`` per queue (index 0 = nan).
+
+        Values >= 1 indicate queues with no steady state; the paper's
+        synthetic experiment deliberately includes such overloaded tiers.
+        """
+        rates = self.per_queue_arrival_rates()
+        rho = np.full(self.n_queues, np.nan)
+        for i, name in enumerate(self.queue_names):
+            if i == 0:
+                continue
+            dist = self.services[name]
+            rho[i] = rates[i] * dist.mean
+        return rho
+
+    # ------------------------------------------------------------------
+    # Functional updates.
+    # ------------------------------------------------------------------
+
+    def with_rates(self, rates: Sequence[float]) -> "QueueingNetwork":
+        """Replace all exponential rates (index 0 = arrival rate).
+
+        This is how EM iterations produce the updated network: same
+        topology, new parameter vector.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self.n_queues,):
+            raise ConfigurationError(
+                f"expected {self.n_queues} rates, got shape {rates.shape}"
+            )
+        services = {
+            name: Exponential(rate=float(rates[i]))
+            for i, name in enumerate(self.queue_names)
+        }
+        return replace(self, services=services)
+
+    def sample_path(self, random_state: RandomState = None):
+        """Sample one task path from the routing FSM."""
+        return self.fsm.sample_path(random_state)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the topology (Figure 1 aid)."""
+        lines = [f"QueueingNetwork with {self.n_queues - 1} queues (+ arrival queue)"]
+        try:
+            rho = self.utilizations()
+        except ConfigurationError:
+            rho = np.full(self.n_queues, np.nan)
+        for i, name in enumerate(self.queue_names):
+            dist = self.services[name]
+            kind = type(dist).__name__
+            if i == 0:
+                lines.append(
+                    f"  [0] {name}: interarrival {kind} (mean {dist.mean:.4g})"
+                )
+            else:
+                util = f", rho={rho[i]:.3f}" if np.isfinite(rho[i]) else ""
+                lines.append(
+                    f"  [{i}] {name}: service {kind} (mean {dist.mean:.4g}{util})"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Partial observation of traces (the paper's measurement regime).
+
+The paper's key premise is that full tracing is too expensive (123 GB/day
+for the Coral cache), so only a subset of events is actually measured:
+
+* the **arrival times** of an observed subset ``O`` of events — in the
+  experiments, all arrivals of a random sample of tasks;
+* the **arrival order** at every queue, which is cheap to maintain with a
+  per-queue event counter transmitted alongside each observed event;
+* the FSM path of every task (known protocol assumption).
+
+:class:`~repro.observation.observed.ObservedTrace` packages exactly this
+information: full structural skeleton (tasks, paths, per-queue order) with
+time values only where observed.  Everything downstream — initialization,
+Gibbs sampling, StEM — consumes this type, never the ground truth.
+"""
+
+from repro.observation.counters import counter_stream, unobserved_gap_counts
+from repro.observation.observed import ObservedTrace
+from repro.observation.scheme import (
+    EventSampling,
+    ObservationScheme,
+    TaskSampling,
+    TimeWindowSampling,
+)
+
+__all__ = [
+    "ObservedTrace",
+    "ObservationScheme",
+    "TaskSampling",
+    "EventSampling",
+    "TimeWindowSampling",
+    "counter_stream",
+    "unobserved_gap_counts",
+]

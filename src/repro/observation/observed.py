@@ -1,0 +1,147 @@
+"""The observed (partial) view of a trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ObservationError
+from repro.events import EventSet
+
+
+@dataclass
+class ObservedTrace:
+    """Everything the inference procedure is allowed to see.
+
+    Attributes
+    ----------
+    skeleton:
+        An :class:`~repro.events.EventSet` carrying the *structure*: tasks,
+        seq numbers, queues, FSM states, and the frozen per-queue arrival
+        order (from event counters).  Its time arrays hold the ground-truth
+        values only at observed positions; unobserved positions contain
+        ``nan`` and must be filled by an initializer before sampling.
+    arrival_observed:
+        Boolean mask per event; True where the arrival time is measured.
+        Initial events (seq 0) are always "observed" at clock 0 by the
+        paper's convention.
+    departure_observed:
+        Boolean mask per event; True where the departure time is measured
+        *independently* of a successor arrival.  Only the last event of a
+        task can be in this set — for every other event the departure is the
+        successor's arrival.
+    """
+
+    skeleton: EventSet
+    arrival_observed: np.ndarray
+    departure_observed: np.ndarray
+    _latent_arrivals: np.ndarray = field(init=False, repr=False)
+    _latent_departures: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.skeleton.n_events
+        self.arrival_observed = np.asarray(self.arrival_observed, dtype=bool).copy()
+        self.departure_observed = np.asarray(self.departure_observed, dtype=bool).copy()
+        if self.arrival_observed.shape != (n,) or self.departure_observed.shape != (n,):
+            raise ObservationError("observation masks must have one entry per event")
+        init = self.skeleton.seq == 0
+        # Initial events arrive at clock 0 by convention: always observed.
+        self.arrival_observed[init] = True
+        non_last = self.skeleton.pi_inv != -1
+        if np.any(self.departure_observed & non_last):
+            raise ObservationError(
+                "only final events of tasks can have independently observed departures; "
+                "inner departures are identical to the successor's arrival"
+            )
+        # The identity a_e = d_{pi(e)} makes a predecessor's departure known
+        # whenever the arrival is observed; no separate bookkeeping needed.
+        self._latent_arrivals = np.flatnonzero(~self.arrival_observed & ~init)
+        last = self.skeleton.pi_inv == -1
+        self._latent_departures = np.flatnonzero(last & ~self.departure_observed)
+
+    # ------------------------------------------------------------------
+    # Latent-variable inventory.
+    # ------------------------------------------------------------------
+
+    @property
+    def latent_arrival_events(self) -> np.ndarray:
+        """Indices of events whose arrival must be sampled."""
+        return self._latent_arrivals
+
+    @property
+    def latent_departure_events(self) -> np.ndarray:
+        """Indices of task-final events whose departure must be sampled."""
+        return self._latent_departures
+
+    @property
+    def n_latent(self) -> int:
+        """Total latent scalar count (the quantity the sampler scales in)."""
+        return self._latent_arrivals.size + self._latent_departures.size
+
+    @property
+    def n_observed_arrivals(self) -> int:
+        """Number of measured (non-initial) arrival times."""
+        non_init = self.skeleton.seq != 0
+        return int(np.count_nonzero(self.arrival_observed & non_init))
+
+    def observed_fraction(self) -> float:
+        """Fraction of non-initial arrivals that are observed."""
+        non_init = int(np.count_nonzero(self.skeleton.seq != 0))
+        if non_init == 0:
+            return 1.0
+        return self.n_observed_arrivals / non_init
+
+    def departure_is_fixed(self, e: int) -> bool:
+        """Whether event *e*'s departure is pinned by an observation.
+
+        True when the within-task successor's arrival is observed, or — for
+        a task-final event — when the final departure itself was measured.
+        """
+        succ = self.skeleton.pi_inv[e]
+        if succ >= 0:
+            return bool(self.arrival_observed[succ])
+        return bool(self.departure_observed[e])
+
+    # ------------------------------------------------------------------
+    # Construction from ground truth.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_ground_truth(
+        cls,
+        events: EventSet,
+        arrival_observed: np.ndarray,
+        departure_observed: np.ndarray | None = None,
+    ) -> "ObservedTrace":
+        """Censor a ground-truth event set down to the observed view.
+
+        Copies the structure (including the true per-queue order — exactly
+        what event counters provide), keeps times at observed positions, and
+        replaces every unobserved time with ``nan``.
+        """
+        skeleton = events.copy()
+        n = events.n_events
+        arrival_observed = np.asarray(arrival_observed, dtype=bool)
+        if departure_observed is None:
+            departure_observed = np.zeros(n, dtype=bool)
+        trace = cls(
+            skeleton=skeleton,
+            arrival_observed=arrival_observed,
+            departure_observed=np.asarray(departure_observed, dtype=bool),
+        )
+        # Censor: nan-out everything latent so no code can silently peek.
+        skeleton.arrival[trace.latent_arrival_events] = np.nan
+        for e in trace.latent_arrival_events:
+            skeleton.departure[skeleton.pi[e]] = np.nan
+        skeleton.departure[trace.latent_departure_events] = np.nan
+        return trace
+
+    def summary(self) -> str:
+        """One-line description of the observation regime."""
+        return (
+            f"ObservedTrace: {self.n_observed_arrivals} arrivals observed "
+            f"({100.0 * self.observed_fraction():.1f}%), "
+            f"{self.n_latent} latent variables, "
+            f"{self.skeleton.n_tasks} tasks, {self.skeleton.n_queues} queues"
+        )

@@ -1,0 +1,21 @@
+"""Online (windowed) inference and anomaly detection.
+
+Paper Section 6 names "online, distributed inference" as the most useful
+future direction, and the introduction motivates the whole enterprise
+with anomaly detection and diagnosis of *past* performance problems.
+This package implements the natural first step: slide a time window over
+the trace, rerun StEM per window against the same partial-observation
+regime, and monitor the resulting per-queue rate series for change
+points — "five minutes ago, a brief spike occurred; which component was
+the bottleneck?" becomes a lookup into the window series.
+"""
+
+from repro.online.windowed import WindowEstimate, WindowedEstimator
+from repro.online.anomaly import AnomalyReport, detect_anomalies
+
+__all__ = [
+    "WindowedEstimator",
+    "WindowEstimate",
+    "detect_anomalies",
+    "AnomalyReport",
+]

@@ -1,0 +1,28 @@
+"""What-if prediction from estimated parameters (the paper's Section 1 hook).
+
+"Queueing models predict the explosion in system latency under high
+workload ... allowing the model to extrapolate from performance under low
+load to performance under high load.  This is useful because it allows us
+to predict the amount of load that will cause a system to become
+unresponsive, without actually allowing it to fail."
+
+Once StEM has estimated a network's rates from a thin trace, this package
+answers the classical capacity-planning questions *from those estimates*:
+response-time curves vs hypothetical load (analytically via Jackson
+product form, or by re-simulating the fitted network), and the maximum
+sustainable arrival rate.
+"""
+
+from repro.prediction.whatif import (
+    LoadSweepResult,
+    predict_response_curve,
+    saturation_point,
+    simulate_at_load,
+)
+
+__all__ = [
+    "predict_response_curve",
+    "simulate_at_load",
+    "saturation_point",
+    "LoadSweepResult",
+]

@@ -1,0 +1,144 @@
+"""Load extrapolation from a fitted queueing network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network import QueueingNetwork
+from repro.queueing_theory import analyze_jackson
+from repro.rng import RandomState, as_generator, spawn
+from repro.simulate import simulate_network
+
+
+@dataclass(frozen=True)
+class LoadSweepResult:
+    """Predicted response times across hypothetical arrival rates.
+
+    Attributes
+    ----------
+    arrival_rates:
+        The swept hypothetical ``lambda`` values.
+    mean_response:
+        Predicted end-to-end mean response per rate (``inf`` where some
+        queue saturates, analytic mode only).
+    per_queue_waiting:
+        Array of shape ``(n_rates, n_queues)``: predicted per-queue mean
+        waiting (``nan``/``inf`` where unstable).
+    mode:
+        ``"analytic"`` (Jackson product form) or ``"simulation"``.
+    """
+
+    arrival_rates: np.ndarray
+    mean_response: np.ndarray
+    per_queue_waiting: np.ndarray
+    mode: str
+
+    def knee(self, factor: float = 3.0) -> float | None:
+        """First swept rate whose response exceeds *factor* x the lowest.
+
+        A simple "load that makes the system unresponsive" indicator; None
+        if the sweep never crosses the threshold.
+        """
+        finite = self.mean_response[np.isfinite(self.mean_response)]
+        if finite.size == 0:
+            return None
+        base = float(finite.min())
+        for rate, resp in zip(self.arrival_rates, self.mean_response):
+            if not np.isfinite(resp) or resp > factor * base:
+                return float(rate)
+        return None
+
+
+def predict_response_curve(
+    network: QueueingNetwork,
+    arrival_rates: np.ndarray,
+    mode: str = "analytic",
+    n_tasks: int = 2000,
+    n_repetitions: int = 3,
+    random_state: RandomState = None,
+) -> LoadSweepResult:
+    """Predict response times of *network* under hypothetical loads.
+
+    Parameters
+    ----------
+    network:
+        Typically the fitted network, e.g.
+        ``original.with_rates(stem_result.rates)``.
+    arrival_rates:
+        Hypothetical ``lambda`` values to sweep.
+    mode:
+        ``"analytic"`` uses Jackson product form (exact for the M/M/1
+        model, instantaneous, reports ``inf`` past saturation);
+        ``"simulation"`` re-simulates the fitted network, which also
+        resolves the *transient* behaviour of overloaded regimes.
+    n_tasks, n_repetitions:
+        Simulation-mode effort per swept rate.
+    """
+    arrival_rates = np.asarray(arrival_rates, dtype=float)
+    if arrival_rates.ndim != 1 or arrival_rates.size == 0 or np.any(arrival_rates <= 0):
+        raise ConfigurationError("arrival_rates must be a non-empty positive 1-D array")
+    if mode not in ("analytic", "simulation"):
+        raise ConfigurationError(f"unknown prediction mode {mode!r}")
+    n_queues = network.n_queues
+    responses = np.empty(arrival_rates.size)
+    waiting = np.full((arrival_rates.size, n_queues), np.nan)
+    rng = as_generator(random_state)
+    for i, lam in enumerate(arrival_rates):
+        rates = network.rates_vector()
+        rates[0] = lam
+        scaled = network.with_rates(rates)
+        if mode == "analytic":
+            analysis = analyze_jackson(scaled)
+            responses[i] = analysis.mean_response
+            for q in range(1, n_queues):
+                metrics = analysis.per_queue[q]
+                waiting[i, q] = metrics.mean_waiting if metrics else np.inf
+        else:
+            reps = []
+            per_queue = []
+            for stream in spawn(rng, n_repetitions):
+                sim = simulate_network(scaled, n_tasks, random_state=stream)
+                reps.append(np.mean(list(sim.events.task_response_times().values())))
+                per_queue.append(sim.events.mean_waiting_by_queue())
+            responses[i] = float(np.mean(reps))
+            waiting[i] = np.mean(per_queue, axis=0)
+    return LoadSweepResult(
+        arrival_rates=arrival_rates,
+        mean_response=responses,
+        per_queue_waiting=waiting,
+        mode=mode,
+    )
+
+
+def simulate_at_load(
+    network: QueueingNetwork,
+    arrival_rate: float,
+    n_tasks: int = 2000,
+    random_state: RandomState = None,
+):
+    """Re-simulate the fitted network at one hypothetical arrival rate."""
+    rates = network.rates_vector()
+    rates[0] = float(arrival_rate)
+    return simulate_network(network.with_rates(rates), n_tasks, random_state=random_state)
+
+
+def saturation_point(network: QueueingNetwork) -> float:
+    """The largest arrival rate with a steady state (the capacity limit).
+
+    Solves ``max lambda s.t. lambda * visits_q * mean_service_q < 1`` for
+    every queue: the bottleneck queue's capacity divided by its expected
+    visits per task.
+    """
+    visits = network.fsm.expected_visits()
+    limit = np.inf
+    for q in range(1, network.n_queues):
+        if visits[q] <= 0.0:
+            continue
+        capacity = 1.0 / network.service_of(q).mean
+        limit = min(limit, capacity / visits[q])
+    if not np.isfinite(limit):
+        raise ConfigurationError("no queue is ever visited; capacity is unbounded")
+    return float(limit)

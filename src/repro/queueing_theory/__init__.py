@@ -1,0 +1,31 @@
+"""Classical (steady-state) queueing theory.
+
+The paper positions its posterior-inference approach *against* classical
+steady-state analysis ("the steady-state distribution is an exact solution
+to an approximate problem").  This package implements that classical
+machinery — M/M/1 and M/M/c formulas, Jackson product-form networks,
+Little's law — for three purposes:
+
+1. validating the discrete-event simulator against closed forms;
+2. providing the steady-state baseline estimator of
+   :mod:`repro.baselines.steady_state`;
+3. letting examples contrast "what if" steady-state answers with the
+   paper's "what happened" posterior answers.
+"""
+
+from repro.queueing_theory.jackson import JacksonNetworkAnalysis, analyze_jackson
+from repro.queueing_theory.littles_law import littles_law_check
+from repro.queueing_theory.mm1 import MM1Metrics, mm1_metrics
+from repro.queueing_theory.mmc import MMcMetrics, erlang_c, mmc_metrics, pooling_gain
+
+__all__ = [
+    "MM1Metrics",
+    "mm1_metrics",
+    "MMcMetrics",
+    "mmc_metrics",
+    "erlang_c",
+    "pooling_gain",
+    "JacksonNetworkAnalysis",
+    "analyze_jackson",
+    "littles_law_check",
+]

@@ -1,0 +1,96 @@
+"""Jackson-network (product-form) steady-state analysis.
+
+An open network of M/M/1 queues with probabilistic routing has a
+product-form steady state: each queue behaves as an independent M/M/1 with
+arrival rate given by the traffic equations.  For our FSM-routed networks
+the traffic equations are solved by the FSM's expected-visit counts
+(:meth:`repro.fsm.ProbabilisticFSM.expected_visits`), making this the exact
+"what if" counterpart to the paper's "what happened" inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotStableError
+from repro.network import QueueingNetwork
+from repro.queueing_theory.mm1 import MM1Metrics, mm1_metrics
+
+
+@dataclass(frozen=True)
+class JacksonNetworkAnalysis:
+    """Product-form analysis of an FSM-routed network of M/M/1 queues.
+
+    Attributes
+    ----------
+    arrival_rates:
+        Per-queue arrival rate from the traffic equations (index 0 = system
+        arrival rate).
+    utilizations:
+        Per-queue ``rho`` (nan at index 0).
+    per_queue:
+        :class:`~repro.queueing_theory.mm1.MM1Metrics` per stable queue;
+        ``None`` for unstable queues (so a partially overloaded network can
+        still be analyzed queue-by-queue).
+    mean_response:
+        Expected end-to-end response time per task (sum over queues of
+        visit rate * sojourn / lambda), ``inf`` if any visited queue is
+        unstable.
+    """
+
+    network: QueueingNetwork
+    arrival_rates: np.ndarray
+    utilizations: np.ndarray
+    per_queue: tuple[MM1Metrics | None, ...]
+    mean_response: float
+
+    @property
+    def stable(self) -> bool:
+        """Whether every queue has a steady state."""
+        return all(m is not None for m in self.per_queue[1:])
+
+    def bottleneck(self) -> int:
+        """Index of the queue with the highest utilization."""
+        return int(np.nanargmax(self.utilizations))
+
+
+def analyze_jackson(network: QueueingNetwork) -> JacksonNetworkAnalysis:
+    """Solve the traffic equations and per-queue M/M/1 metrics.
+
+    Never raises on overload: unstable queues get ``None`` metrics and the
+    network mean response becomes ``inf`` — mirroring how classical theory
+    simply has no answer there (paper Section 1's critique).
+    """
+    lam = network.arrival_rate
+    visits = network.fsm.expected_visits()
+    arrival_rates = lam * visits
+    arrival_rates[0] = lam
+    utilizations = np.full(network.n_queues, np.nan)
+    per_queue: list[MM1Metrics | None] = [None]
+    total_response = 0.0
+    stable = True
+    for q in range(1, network.n_queues):
+        mu = network.service_of(q).mean
+        mu = 1.0 / mu  # service rate from mean service time
+        rho = arrival_rates[q] / mu if mu > 0 else np.inf
+        utilizations[q] = rho
+        if arrival_rates[q] <= 0.0:
+            per_queue.append(None)
+            continue
+        try:
+            metrics = mm1_metrics(arrival_rates[q], mu)
+        except NotStableError:
+            per_queue.append(None)
+            stable = False
+            continue
+        per_queue.append(metrics)
+        total_response += visits[q] * metrics.mean_response
+    return JacksonNetworkAnalysis(
+        network=network,
+        arrival_rates=arrival_rates,
+        utilizations=utilizations,
+        per_queue=tuple(per_queue),
+        mean_response=total_response if stable else float("inf"),
+    )

@@ -1,0 +1,77 @@
+"""Steady-state formulas for the M/M/1 queue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotStableError
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Steady-state metrics of an M/M/1 queue.
+
+    Attributes
+    ----------
+    utilization:
+        ``rho = lambda / mu``.
+    mean_waiting:
+        Mean time in queue (excluding service), ``rho / (mu - lambda)``.
+    mean_response:
+        Mean sojourn time, ``1 / (mu - lambda)``.
+    mean_queue_length:
+        Mean number waiting (not in service), ``rho^2 / (1 - rho)``.
+    mean_number_in_system:
+        ``rho / (1 - rho)``.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    utilization: float
+    mean_waiting: float
+    mean_response: float
+    mean_queue_length: float
+    mean_number_in_system: float
+
+    def response_quantile(self, p: float) -> float:
+        """Quantile of the (exponential) sojourn-time distribution."""
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"quantile level must be in [0, 1), got {p}")
+        return float(-np.log1p(-p) / (self.service_rate - self.arrival_rate))
+
+    def prob_n_in_system(self, n: int) -> float:
+        """``P(N = n) = (1 - rho) rho^n``."""
+        if n < 0:
+            raise ValueError(f"n must be nonnegative, got {n}")
+        return float((1.0 - self.utilization) * self.utilization**n)
+
+
+def mm1_metrics(arrival_rate: float, service_rate: float) -> MM1Metrics:
+    """Compute M/M/1 steady-state metrics.
+
+    Raises
+    ------
+    NotStableError
+        When ``arrival_rate >= service_rate`` — exactly the regime the
+        paper's overloaded tiers occupy, where classical analysis offers no
+        steady-state answer but posterior inference still works.
+    """
+    if arrival_rate <= 0.0 or service_rate <= 0.0:
+        raise ValueError("rates must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise NotStableError(
+            f"M/M/1 with lambda={arrival_rate}, mu={service_rate} has "
+            f"utilization {rho:.3f} >= 1: no steady state exists"
+        )
+    return MM1Metrics(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        utilization=rho,
+        mean_waiting=rho / (service_rate - arrival_rate),
+        mean_response=1.0 / (service_rate - arrival_rate),
+        mean_queue_length=rho * rho / (1.0 - rho),
+        mean_number_in_system=rho / (1.0 - rho),
+    )

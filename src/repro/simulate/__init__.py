@@ -1,0 +1,36 @@
+"""Discrete-event simulation of FIFO queueing networks.
+
+This substrate generates every dataset used in the reproduction: it plays
+the role of the paper's instrumented systems (the synthetic three-tier
+networks of Section 5.1 and, via :mod:`repro.webapp`, the Rails
+movie-voting application of Section 5.2).
+
+The engine is exact for networks of single-server FIFO queues: arrivals are
+processed in global time order, and each queue's departure recursion
+``d = s + max(a, d_prev)`` is applied directly, which is the same recursion
+the probabilistic model (paper Eq. 1) defines — so simulator output always
+validates as a feasible event set.
+"""
+
+from repro.simulate.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    LinearRampArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.simulate.engine import SimulationResult, simulate_network, simulate_tasks
+from repro.simulate.faults import RateChange, simulate_with_faults
+
+__all__ = [
+    "RateChange",
+    "simulate_with_faults",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "LinearRampArrivals",
+    "DeterministicArrivals",
+    "MMPPArrivals",
+    "simulate_network",
+    "simulate_tasks",
+    "SimulationResult",
+]

@@ -1,0 +1,170 @@
+"""Arrival (system-entry) processes for the simulator.
+
+The paper's model represents arrivals through the initial queue ``q0``:
+interarrival times are q0's "service" times, exponential with rate
+``lambda`` in the M/M/1 setting.  The simulator additionally supports
+non-Poisson streams — most importantly the linearly ramping workload that
+drives the web-application experiment (Section 5.2: "increasing the load
+linearly over 30 min") — precisely so we can reproduce the paper's setting
+of fitting a homogeneous-``lambda`` model to non-homogeneous reality.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, as_generator
+
+
+class ArrivalProcess(abc.ABC):
+    """A point process on the half-line generating task entry times."""
+
+    @abc.abstractmethod
+    def sample(self, n_tasks: int, random_state: RandomState = None) -> np.ndarray:
+        """Generate *n_tasks* increasing entry times starting after 0."""
+
+    @staticmethod
+    def _check_n(n_tasks: int) -> None:
+        if n_tasks < 1:
+            raise ConfigurationError(f"need at least one task, got {n_tasks}")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process with rate ``rate`` (the paper's default)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (self.rate > 0.0 and np.isfinite(self.rate)):
+            raise ConfigurationError(f"arrival rate must be positive, got {self.rate}")
+
+    def sample(self, n_tasks: int, random_state: RandomState = None) -> np.ndarray:
+        self._check_n(n_tasks)
+        rng = as_generator(random_state)
+        gaps = rng.exponential(scale=1.0 / self.rate, size=n_tasks)
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class LinearRampArrivals(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals with linearly increasing rate.
+
+    The instantaneous rate is ``rate(t) = rate0 + slope * t`` over the
+    horizon ``[0, duration]``.  Conditioned on the task count, NHPP arrival
+    times are i.i.d. draws from the normalized rate density — we exploit
+    that to produce exactly *n_tasks* entries over the horizon (the web-app
+    experiment fixes the request count at 5 759).
+    """
+
+    duration: float
+    rate0: float = 0.0
+    slope: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.duration > 0.0 and np.isfinite(self.duration)):
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.rate0 < 0.0 or self.slope < 0.0 or (self.rate0 == 0.0 and self.slope == 0.0):
+            raise ConfigurationError(
+                "need rate0 >= 0, slope >= 0, and not both zero "
+                f"(got rate0={self.rate0}, slope={self.slope})"
+            )
+
+    def sample(self, n_tasks: int, random_state: RandomState = None) -> np.ndarray:
+        self._check_n(n_tasks)
+        rng = as_generator(random_state)
+        u = rng.uniform(size=n_tasks)
+        t_max = self.duration
+        if self.slope == 0.0:
+            times = u * t_max
+        else:
+            # Invert the normalized cumulative rate
+            #   Lambda(t) = rate0*t + slope*t^2/2,  p = Lambda(t)/Lambda(T):
+            # solve the quadratic slope/2 t^2 + rate0 t - p*Lambda(T) = 0.
+            total = self.rate0 * t_max + 0.5 * self.slope * t_max * t_max
+            c = -u * total
+            disc = self.rate0 * self.rate0 - 2.0 * self.slope * c
+            times = (-self.rate0 + np.sqrt(disc)) / self.slope
+        times.sort()
+        # Entry times must be strictly increasing for a clean FIFO order at q0.
+        eps = 1e-12 * max(1.0, t_max)
+        for i in range(1, times.size):
+            if times[i] <= times[i - 1]:
+                times[i] = times[i - 1] + eps
+        return times
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly spaced arrivals — the "D" arrival stream, for stress tests."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (self.rate > 0.0 and np.isfinite(self.rate)):
+            raise ConfigurationError(f"arrival rate must be positive, got {self.rate}")
+
+    def sample(self, n_tasks: int, random_state: RandomState = None) -> np.ndarray:
+        self._check_n(n_tasks)
+        gap = 1.0 / self.rate
+        return gap * np.arange(1, n_tasks + 1, dtype=float)
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """Markov-modulated Poisson process — bursty arrivals.
+
+    A two-state (or k-state) continuous-time Markov chain modulates the
+    instantaneous Poisson rate.  This models workload spikes ("five minutes
+    ago, a brief spike in workload occurred" — paper Section 1) and lets
+    experiments probe inference quality under bursty load.
+
+    Parameters
+    ----------
+    rates:
+        Poisson rate in each modulating state.
+    switch_rates:
+        Rate of leaving each modulating state (holding times are
+        exponential); the chain moves to a uniformly random other state.
+    """
+
+    rates: tuple[float, ...]
+    switch_rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        rates = tuple(float(r) for r in self.rates)
+        switch = tuple(float(s) for s in self.switch_rates)
+        if len(rates) < 2 or len(rates) != len(switch):
+            raise ConfigurationError(
+                "MMPP needs >= 2 states with matching rates/switch_rates lengths"
+            )
+        if any(r <= 0 for r in rates) or any(s <= 0 for s in switch):
+            raise ConfigurationError("MMPP rates and switch rates must be positive")
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "switch_rates", switch)
+
+    def sample(self, n_tasks: int, random_state: RandomState = None) -> np.ndarray:
+        self._check_n(n_tasks)
+        rng = as_generator(random_state)
+        n_states = len(self.rates)
+        state = int(rng.integers(n_states))
+        t = 0.0
+        next_switch = rng.exponential(1.0 / self.switch_rates[state])
+        times = np.empty(n_tasks)
+        produced = 0
+        while produced < n_tasks:
+            gap = rng.exponential(1.0 / self.rates[state])
+            if t + gap < next_switch:
+                t += gap
+                times[produced] = t
+                produced += 1
+            else:
+                t = next_switch
+                others = [s for s in range(n_states) if s != state]
+                state = int(others[rng.integers(len(others))])
+                next_switch = t + rng.exponential(1.0 / self.switch_rates[state])
+        return times

@@ -1,0 +1,129 @@
+"""Trace-level statistics: queue-length processes and busy periods.
+
+Complements the per-event views in :mod:`repro.events` with the
+*process* views operators reason about: how long was the queue at each
+instant, when was the server busy, what was the peak backlog during the
+incident.  All functions are exact reconstructions from the event times
+(arrivals and departures), not estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidEventSetError
+from repro.events import EventSet
+
+
+@dataclass(frozen=True)
+class QueueLengthProcess:
+    """The number-in-system step function of one queue.
+
+    Attributes
+    ----------
+    times:
+        Breakpoints (event instants), increasing.
+    counts:
+        ``counts[i]`` is the number in system on ``[times[i], times[i+1])``.
+    """
+
+    queue: int
+    times: np.ndarray
+    counts: np.ndarray
+
+    def at(self, t: float) -> int:
+        """Number in system at clock time *t*."""
+        if self.times.size == 0 or t < self.times[0]:
+            return 0
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        return int(self.counts[idx])
+
+    def peak(self) -> tuple[float, int]:
+        """(time, count) of the maximum backlog."""
+        idx = int(np.argmax(self.counts))
+        return float(self.times[idx]), int(self.counts[idx])
+
+    def time_average(self) -> float:
+        """Time-averaged number in system over the observed horizon."""
+        if self.times.size < 2:
+            return 0.0
+        widths = np.diff(self.times)
+        return float(np.sum(self.counts[:-1] * widths) / widths.sum())
+
+
+def queue_length_process(events: EventSet, queue: int) -> QueueLengthProcess:
+    """Reconstruct a queue's number-in-system step function."""
+    members = events.queue_order(queue)
+    if members.size == 0:
+        raise InvalidEventSetError(f"queue {queue} processed no events")
+    arrivals = events.arrival[members]
+    departures = events.departure[members]
+    instants = np.concatenate([arrivals, departures])
+    deltas = np.concatenate([np.ones(members.size), -np.ones(members.size)])
+    order = np.argsort(instants, kind="stable")
+    times = instants[order]
+    counts = np.cumsum(deltas[order])
+    # Merge simultaneous instants (a departure and arrival at one time).
+    keep = np.append(np.diff(times) > 0.0, True)
+    return QueueLengthProcess(
+        queue=queue, times=times[keep], counts=counts[keep].astype(np.int64)
+    )
+
+
+@dataclass(frozen=True)
+class BusyPeriod:
+    """One maximal interval during which the server never idled."""
+
+    start: float
+    end: float
+    n_served: int
+
+    @property
+    def duration(self) -> float:
+        """Length of the busy period."""
+        return self.end - self.start
+
+
+def busy_periods(events: EventSet, queue: int, atol: float = 1e-12) -> list[BusyPeriod]:
+    """Maximal busy periods of one queue's server.
+
+    A busy period runs from a service start to the first departure after
+    which the server idles (the next arrival comes strictly later).
+    """
+    members = events.queue_order(queue)
+    if members.size == 0:
+        raise InvalidEventSetError(f"queue {queue} processed no events")
+    begins = events.begin_times()[members]
+    departures = events.departure[members]
+    arrivals = events.arrival[members]
+    periods: list[BusyPeriod] = []
+    start = float(begins[0])
+    count = 0
+    for i in range(members.size):
+        count += 1
+        is_last = i == members.size - 1
+        if is_last or arrivals[i + 1] > departures[i] + atol:
+            periods.append(
+                BusyPeriod(start=start, end=float(departures[i]), n_served=count)
+            )
+            if not is_last:
+                start = float(arrivals[i + 1])
+                count = 0
+    return periods
+
+
+def utilization_from_trace(events: EventSet, queue: int) -> float:
+    """Fraction of the horizon the server spent busy.
+
+    Horizon = first arrival to last departure at the queue; exact given
+    the trace (no model assumptions).
+    """
+    periods = busy_periods(events, queue)
+    busy = sum(p.duration for p in periods)
+    members = events.queue_order(queue)
+    horizon = float(events.departure[members].max() - events.arrival[members].min())
+    if horizon <= 0.0:
+        return 0.0
+    return min(1.0, busy / horizon)

@@ -1,0 +1,12 @@
+"""Terminal (ASCII) visualization of experiment results.
+
+The paper's figures are scatter/series plots; this package renders their
+text equivalents so the benchmark harness and examples can show the
+*shape* of a result — error boxplots per observation rate (Figure 4),
+per-queue estimate series (Figure 5), response-time curves — directly in
+a terminal, with no plotting dependency.
+"""
+
+from repro.viz.ascii_plots import boxplot_panel, series_panel, sparkline
+
+__all__ = ["sparkline", "series_panel", "boxplot_panel"]

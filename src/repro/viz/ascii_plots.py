@@ -1,0 +1,112 @@
+"""ASCII sparklines, series panels, and boxplot panels."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Non-finite values render as spaces.  *lo*/*hi* pin the scale (useful
+    when aligning several sparklines); they default to the finite min/max.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for v in arr:
+        if not math.isfinite(v):
+            chars.append(" ")
+            continue
+        if span <= 0.0:
+            chars.append(_TICKS[0])
+            continue
+        idx = int((v - lo) / span * (len(_TICKS) - 1) + 0.5)
+        chars.append(_TICKS[min(max(idx, 0), len(_TICKS) - 1)])
+    return "".join(chars)
+
+
+def series_panel(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str] | None = None,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Aligned sparklines + last values for several named series.
+
+    All series share one vertical scale so relative magnitudes read
+    correctly — the Figure 5 layout (one line per queue).
+    """
+    all_values = [v for vals in series.values() for v in vals if math.isfinite(v)]
+    lo = min(all_values) if all_values else 0.0
+    hi = max(all_values) if all_values else 1.0
+    name_width = max((len(n) for n in series), default=4)
+    lines = []
+    if title:
+        lines.append(title)
+    if x_labels is not None:
+        lines.append(" " * (name_width + 2) + " ".join(x_labels))
+    for name, vals in series.items():
+        vals = list(vals)
+        last = next(
+            (v for v in reversed(vals) if math.isfinite(v)), float("nan")
+        )
+        lines.append(
+            f"{name:<{name_width}}  {sparkline(vals, lo, hi)}  "
+            f"{value_format.format(last)}"
+        )
+    lines.append(f"{'':<{name_width}}  scale: [{lo:.4g}, {hi:.4g}]")
+    return "\n".join(lines)
+
+
+def boxplot_panel(
+    groups: Mapping[str, Sequence[float]],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal ASCII boxplots, one row per group (the Figure 4 layout).
+
+    Whiskers span min..max, the box spans q1..q3, ``|`` marks the median.
+    All rows share one horizontal scale.
+    """
+    cleaned = {
+        name: np.asarray([v for v in vals if math.isfinite(v)], dtype=float)
+        for name, vals in groups.items()
+    }
+    cleaned = {name: vals for name, vals in cleaned.items() if vals.size}
+    if not cleaned:
+        return title or ""
+    lo = min(float(v.min()) for v in cleaned.values())
+    hi = max(float(v.max()) for v in cleaned.values())
+    span = max(hi - lo, 1e-300)
+
+    def col(x: float) -> int:
+        return int((x - lo) / span * (width - 1) + 0.5)
+
+    name_width = max(len(n) for n in cleaned)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, vals in cleaned.items():
+        q1, med, q3 = (float(np.percentile(vals, p)) for p in (25, 50, 75))
+        row = [" "] * width
+        for x in range(col(float(vals.min())), col(float(vals.max())) + 1):
+            row[x] = "-"
+        for x in range(col(q1), col(q3) + 1):
+            row[x] = "="
+        row[col(med)] = "|"
+        lines.append(
+            f"{name:<{name_width}}  [{''.join(row)}]  median {med:.4g}"
+        )
+    lines.append(f"{'':<{name_width}}   scale: [{lo:.4g}, {hi:.4g}]")
+    return "\n".join(lines)

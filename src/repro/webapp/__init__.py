@@ -1,0 +1,31 @@
+"""The simulated movie-voting web application (paper Section 5.2).
+
+The paper instruments a real Ruby-on-Rails application: haproxy load
+balancing across **ten identical web server instances** on one machine, a
+MySQL **database** on a second machine, and a **network** queue modeling
+HTTP request/response transmission.  5 759 requests are generated with
+load "increasing linearly over 30 min", producing 23 036 arrival events
+(= 4 queue visits per request: network, web server, database, network).
+
+We do not have those traces (substitution documented in DESIGN.md):
+this package builds a queueing network with the identical topology, a
+linearly ramping non-homogeneous Poisson workload, and a load-balancer
+weight skew that starves one web server (the paper observed one server
+receiving only 19 requests, making its estimates visibly unstable in
+Figure 5) — then simulates it to produce the dataset Figure 5's
+reproduction consumes.
+"""
+
+from repro.webapp.app_model import (
+    WebAppConfig,
+    build_webapp_network,
+    paper_webapp_config,
+)
+from repro.webapp.workload import generate_webapp_trace
+
+__all__ = [
+    "WebAppConfig",
+    "paper_webapp_config",
+    "build_webapp_network",
+    "generate_webapp_trace",
+]

@@ -1,0 +1,125 @@
+"""Topology and parameters of the simulated movie-voting application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributions import Exponential, ServiceDistribution
+from repro.errors import ConfigurationError
+from repro.fsm import ProbabilisticFSM
+from repro.network import QueueingNetwork
+from repro.network.topology import INITIAL_QUEUE_NAME
+
+
+@dataclass(frozen=True)
+class WebAppConfig:
+    """Parameters of the simulated web application.
+
+    Attributes
+    ----------
+    n_requests:
+        Total requests over the run (paper: 5 759).
+    duration:
+        Run length in seconds (paper: 30 minutes).
+    n_web_servers:
+        Replicated web server instances behind the balancer (paper: 10).
+    web_rate / db_rate / network_rate:
+        Exponential service rates.  Dynamic page generation dominates
+        per-request cost ("almost all of the page content is dynamically
+        generated"), so web service is the slowest; the database and the
+        network transfer are fast.
+    starved_weight:
+        Relative load-balancer weight of the last web server.  The paper's
+        balancer sent only 19 of 5 759 requests (~0.33 %) to one instance;
+        the default reproduces that order of magnitude.
+    """
+
+    n_requests: int = 5759
+    duration: float = 30.0 * 60.0
+    n_web_servers: int = 10
+    web_rate: float = 4.0
+    db_rate: float = 40.0
+    network_rate: float = 16.0
+    starved_weight: float = 0.033
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1 or self.n_web_servers < 1:
+            raise ConfigurationError("need at least one request and one web server")
+        if min(self.web_rate, self.db_rate, self.network_rate) <= 0.0:
+            raise ConfigurationError("service rates must be positive")
+        if self.duration <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        if not 0.0 < self.starved_weight <= 1.0:
+            raise ConfigurationError("starved_weight must lie in (0, 1]")
+
+    @property
+    def n_events(self) -> int:
+        """Total arrival events in the queueing model (4 per request)."""
+        return 4 * self.n_requests
+
+    @property
+    def mean_arrival_rate(self) -> float:
+        """Average request rate over the ramp."""
+        return self.n_requests / self.duration
+
+    def balancer_weights(self) -> np.ndarray:
+        """Dispatch weights: uniform except the starved last server."""
+        weights = np.ones(self.n_web_servers)
+        weights[-1] = self.starved_weight
+        return weights / weights.sum()
+
+
+def paper_webapp_config(**overrides) -> WebAppConfig:
+    """The configuration matching the paper's Section 5.2 numbers."""
+    return WebAppConfig(**overrides)
+
+
+def build_webapp_network(config: WebAppConfig | None = None) -> QueueingNetwork:
+    """Build the 12-queue network: network, 10 web servers, database.
+
+    Queue layout (matching the paper's model): queue 1 is the shared
+    network queue visited on both the request and response leg; queues
+    2..11 are the web servers; queue 12 is the database.  Every request's
+    path is network -> web-i -> db -> network, giving exactly four events
+    per request (5 759 x 4 = 23 036, the paper's event count).
+
+    The arrival "rate" stored at queue 0 is the ramp's *average* rate; the
+    actual workload is non-homogeneous (see
+    :func:`~repro.webapp.workload.generate_webapp_trace`), deliberately
+    mismatching the homogeneous M/M/1 model exactly as the paper's real
+    traffic did.
+    """
+    if config is None:
+        config = WebAppConfig()
+    names = [INITIAL_QUEUE_NAME, "network"]
+    services: dict[str, ServiceDistribution] = {
+        INITIAL_QUEUE_NAME: Exponential(rate=config.mean_arrival_rate),
+        "network": Exponential(rate=config.network_rate),
+    }
+    web_indices = []
+    for j in range(config.n_web_servers):
+        web_indices.append(len(names))
+        names.append(f"web-{j}")
+        services[f"web-{j}"] = Exponential(rate=config.web_rate)
+    db_index = len(names)
+    names.append("db")
+    services["db"] = Exponential(rate=config.db_rate)
+    n_queues = len(names)
+
+    weights = config.balancer_weights()
+    # FSM states: 0 entry, 1 network-in, 2 web, 3 db, 4 network-out, 5 final.
+    transition = np.zeros((6, 6))
+    for s in range(5):
+        transition[s, s + 1] = 1.0
+    transition[5, 5] = 1.0
+    emission = np.zeros((6, n_queues))
+    emission[1, 1] = 1.0  # network (request leg)
+    emission[2, web_indices] = weights
+    emission[3, db_index] = 1.0
+    emission[4, 1] = 1.0  # network (response leg)
+    fsm = ProbabilisticFSM(
+        transition=transition, emission=emission, initial_state=0, final_state=5
+    )
+    return QueueingNetwork(queue_names=tuple(names), services=services, fsm=fsm)

@@ -1,0 +1,44 @@
+"""Shared fixtures: small simulated networks and censored traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+
+@pytest.fixture(scope="session")
+def tandem_sim():
+    """A small two-station tandem simulation (moderate load)."""
+    network = build_tandem_network(arrival_rate=4.0, service_rates=[6.0, 8.0])
+    return simulate_network(network, n_tasks=120, random_state=101)
+
+
+@pytest.fixture(scope="session")
+def three_tier_sim():
+    """A small copy of the paper's synthetic setup (overload included)."""
+    network = build_three_tier_network(
+        arrival_rate=10.0, servers_per_tier=(1, 2, 4), service_rate=5.0
+    )
+    return simulate_network(network, n_tasks=150, random_state=7)
+
+
+@pytest.fixture()
+def tandem_trace(tandem_sim):
+    """A 20 %-observed censored view of the tandem simulation."""
+    return TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=3)
+
+
+@pytest.fixture()
+def three_tier_trace(three_tier_sim):
+    """A 15 %-observed censored view of the three-tier simulation."""
+    return TaskSampling(fraction=0.15).observe(three_tier_sim.events, random_state=5)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

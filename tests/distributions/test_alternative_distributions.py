@@ -1,0 +1,191 @@
+"""Tests for the non-exponential service distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Empirical,
+    Erlang,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    UniformService,
+)
+
+
+class TestErlang:
+    def test_moments(self):
+        dist = Erlang(k=3, rate=6.0)
+        assert dist.mean == pytest.approx(0.5)
+        assert dist.variance == pytest.approx(3.0 / 36.0)
+        assert dist.scv == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Erlang(k=0, rate=1.0)
+        with pytest.raises(ValueError):
+            Erlang(k=2, rate=-1.0)
+
+    def test_sampling_matches_moments(self, rng):
+        dist = Erlang(k=4, rate=2.0)
+        x = dist.sample(30000, rng)
+        assert x.mean() == pytest.approx(2.0, rel=0.03)
+        assert x.var() == pytest.approx(1.0, rel=0.1)
+
+    def test_log_pdf_integrates_to_one(self):
+        dist = Erlang(k=2, rate=3.0)
+        x = np.linspace(0, 15, 100001)
+        assert np.trapezoid(dist.pdf(x), x) == pytest.approx(1.0, abs=1e-5)
+
+    def test_k1_equals_exponential_density(self):
+        dist = Erlang(k=1, rate=2.0)
+        x = np.array([0.0, 0.3, 1.0])
+        np.testing.assert_allclose(dist.log_pdf(x), np.log(2.0) - 2.0 * x)
+
+    def test_fit_recovers_parameters(self, rng):
+        true = Erlang(k=3, rate=9.0)
+        fit = Erlang.fit(true.sample(20000, rng))
+        assert fit.k == 3
+        assert fit.rate == pytest.approx(9.0, rel=0.1)
+
+
+class TestHyperExponential:
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            HyperExponential(probs=(0.5, 0.4), rates=(1.0, 2.0))  # sum != 1
+        with pytest.raises(ValueError):
+            HyperExponential(probs=(0.5, 0.5), rates=(1.0, -2.0))
+        with pytest.raises(ValueError):
+            HyperExponential(probs=(0.5, 0.5), rates=(1.0,))
+
+    def test_moments(self):
+        dist = HyperExponential(probs=(0.9, 0.1), rates=(10.0, 0.5))
+        expected_mean = 0.9 / 10.0 + 0.1 / 0.5
+        assert dist.mean == pytest.approx(expected_mean)
+        assert dist.scv > 1.0  # bursty by construction
+
+    def test_sampling_matches_mean(self, rng):
+        dist = HyperExponential(probs=(0.7, 0.3), rates=(5.0, 1.0))
+        x = dist.sample(50000, rng)
+        assert x.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    def test_log_pdf_integrates_to_one(self):
+        dist = HyperExponential(probs=(0.6, 0.4), rates=(4.0, 1.0))
+        x = np.linspace(0, 40, 200001)
+        assert np.trapezoid(dist.pdf(x), x) == pytest.approx(1.0, abs=1e-4)
+
+    def test_em_fit_reasonable(self, rng):
+        true = HyperExponential(probs=(0.8, 0.2), rates=(10.0, 1.0))
+        samples = true.sample(8000, rng)
+        fit = HyperExponential.fit(samples, n_branches=2)
+        assert fit.mean == pytest.approx(true.mean, rel=0.15)
+
+
+class TestGamma:
+    def test_moments(self):
+        dist = Gamma(shape=2.5, rate=5.0)
+        assert dist.mean == pytest.approx(0.5)
+        assert dist.scv == pytest.approx(0.4)
+
+    def test_fit_recovers_parameters(self, rng):
+        true = Gamma(shape=3.0, rate=6.0)
+        fit = Gamma.fit(true.sample(30000, rng))
+        assert fit.shape == pytest.approx(3.0, rel=0.1)
+        assert fit.rate == pytest.approx(6.0, rel=0.1)
+
+    def test_log_pdf_integrates_to_one(self):
+        dist = Gamma(shape=1.5, rate=2.0)
+        x = np.linspace(1e-9, 25, 400001)
+        assert np.trapezoid(dist.pdf(x), x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_log_pdf_matches_scipy(self):
+        from scipy import stats
+
+        dist = Gamma(shape=0.7, rate=2.0)
+        x = np.array([0.05, 0.3, 1.2, 4.0])
+        expected = stats.gamma.logpdf(x, a=0.7, scale=0.5)
+        np.testing.assert_allclose(dist.log_pdf(x), expected, rtol=1e-10)
+
+
+class TestLogNormal:
+    def test_moments(self):
+        dist = LogNormal(mu_log=0.0, sigma_log=0.5)
+        assert dist.mean == pytest.approx(np.exp(0.125))
+
+    def test_from_mean_scv(self):
+        dist = LogNormal.from_mean_scv(mean=0.3, scv=2.0)
+        assert dist.mean == pytest.approx(0.3, rel=1e-9)
+        assert dist.scv == pytest.approx(2.0, rel=1e-9)
+
+    def test_fit_exact_mle(self, rng):
+        true = LogNormal(mu_log=-1.0, sigma_log=0.4)
+        samples = true.sample(20000, rng)
+        fit = LogNormal.fit(samples)
+        assert fit.mu_log == pytest.approx(-1.0, abs=0.02)
+        assert fit.sigma_log == pytest.approx(0.4, abs=0.02)
+
+    def test_fit_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            LogNormal.fit([0.0, 1.0])
+
+
+class TestDeterministic:
+    def test_sampling_is_constant(self, rng):
+        dist = Deterministic(value=0.2)
+        assert np.all(dist.sample(10, rng) == 0.2)
+        assert dist.variance == 0.0
+        assert dist.scv == 0.0
+
+    def test_log_pdf_point_mass(self):
+        dist = Deterministic(value=1.5)
+        assert dist.log_pdf(np.array([1.5]))[0] == 0.0
+        assert dist.log_pdf(np.array([1.4]))[0] == -np.inf
+
+    def test_fit(self):
+        assert Deterministic.fit([2.0, 2.0, 2.0]).value == 2.0
+
+
+class TestUniformService:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            UniformService(low=1.0, high=1.0)
+        with pytest.raises(ValueError):
+            UniformService(low=-0.1, high=1.0)
+
+    def test_moments(self):
+        dist = UniformService(low=1.0, high=3.0)
+        assert dist.mean == pytest.approx(2.0)
+        assert dist.variance == pytest.approx(4.0 / 12.0)
+
+    def test_fit_spans_sample(self, rng):
+        samples = UniformService(low=0.5, high=2.0).sample(5000, rng)
+        fit = UniformService.fit(samples)
+        assert fit.low == pytest.approx(0.5, abs=0.01)
+        assert fit.high == pytest.approx(2.0, abs=0.01)
+
+
+class TestEmpirical:
+    def test_resamples_only_observations(self, rng):
+        dist = Empirical(observations=(0.1, 0.2, 0.3))
+        x = dist.sample(1000, rng)
+        assert set(np.round(x, 10)) <= {0.1, 0.2, 0.3}
+
+    def test_moments_match_sample(self):
+        obs = (1.0, 2.0, 3.0, 4.0)
+        dist = Empirical(observations=obs)
+        assert dist.mean == pytest.approx(2.5)
+        assert dist.variance == pytest.approx(np.var(obs))
+
+    def test_log_pdf_is_pmf(self):
+        dist = Empirical(observations=(1.0, 1.0, 2.0))
+        assert dist.log_pdf(np.array([1.0]))[0] == pytest.approx(np.log(2.0 / 3.0))
+        assert dist.log_pdf(np.array([3.0]))[0] == -np.inf
+
+    def test_quantile(self):
+        dist = Empirical(observations=tuple(float(i) for i in range(101)))
+        assert dist.quantile(0.5) == pytest.approx(50.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Empirical(observations=(-1.0, 2.0))

@@ -1,0 +1,90 @@
+"""Property-based tests on the ServiceDistribution contract (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    TruncatedExponential,
+    UniformService,
+)
+
+rates = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+def _all_distributions(rate: float):
+    return [
+        Exponential(rate=rate),
+        Erlang(k=2, rate=rate),
+        Gamma(shape=1.7, rate=rate),
+        HyperExponential(probs=(0.6, 0.4), rates=(rate, rate * 3.0)),
+        LogNormal(mu_log=float(-np.log(rate)), sigma_log=0.6),
+        Deterministic(value=1.0 / rate),
+        UniformService(low=0.0, high=2.0 / rate),
+        TruncatedExponential(rate=rate, width=5.0 / rate),
+    ]
+
+
+@given(rate=rates, seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_samples_are_nonnegative_and_finite(rate, seed):
+    rng = np.random.default_rng(seed)
+    for dist in _all_distributions(rate):
+        x = dist.sample(64, rng)
+        assert x.shape == (64,)
+        assert np.all(np.isfinite(x))
+        assert np.all(x >= 0.0)
+
+
+@given(rate=rates)
+@settings(max_examples=25, deadline=None)
+def test_moments_are_consistent(rate):
+    for dist in _all_distributions(rate):
+        assert dist.mean >= 0.0
+        assert dist.variance >= 0.0
+        assert np.isfinite(dist.mean)
+        assert np.isfinite(dist.variance)
+        if dist.mean > 0.0:
+            assert dist.scv >= 0.0
+
+
+@given(rate=rates, seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_sample_mean_tracks_distribution_mean(rate, seed):
+    rng = np.random.default_rng(seed)
+    for dist in _all_distributions(rate):
+        x = dist.sample(4000, rng)
+        scale = max(dist.mean, 1e-12)
+        tolerance = 6.0 * np.sqrt(dist.variance / x.size) + 1e-9 * scale
+        assert abs(x.mean() - dist.mean) <= tolerance
+
+
+@given(rate=rates, seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_exponential_fit_roundtrip(rate, seed):
+    rng = np.random.default_rng(seed)
+    samples = Exponential(rate=rate).sample(3000, rng)
+    fit = Exponential.fit(samples)
+    assert 0.7 * rate < fit.rate < 1.4 * rate
+
+
+@given(
+    rate=rates,
+    width_factor=st.floats(min_value=0.01, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_truncated_exponential_never_escapes(rate, width_factor, seed):
+    width = width_factor / rate
+    rng = np.random.default_rng(seed)
+    dist = TruncatedExponential(rate=rate, width=width)
+    x = dist.sample(256, rng)
+    assert np.all(x > 0.0)
+    assert np.all(x < width)
+    assert 0.0 < dist.mean < width

@@ -1,0 +1,98 @@
+"""Tests for the exponential distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=0.0)
+        with pytest.raises(ValueError):
+            Exponential(rate=-1.0)
+
+    def test_rejects_infinite_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=float("inf"))
+
+    def test_from_mean(self):
+        dist = Exponential.from_mean(0.25)
+        assert dist.rate == pytest.approx(4.0)
+
+    def test_from_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Exponential.from_mean(0.0)
+
+    def test_immutable(self):
+        dist = Exponential(rate=2.0)
+        with pytest.raises(AttributeError):
+            dist.rate = 3.0
+
+
+class TestMoments:
+    def test_mean_and_variance(self):
+        dist = Exponential(rate=4.0)
+        assert dist.mean == pytest.approx(0.25)
+        assert dist.variance == pytest.approx(0.0625)
+        assert dist.scv == pytest.approx(1.0)
+
+    def test_sample_mean_converges(self, rng):
+        dist = Exponential(rate=5.0)
+        samples = dist.sample(20000, rng)
+        assert samples.mean() == pytest.approx(0.2, rel=0.05)
+        assert samples.min() >= 0.0
+
+
+class TestDensity:
+    def test_log_pdf_matches_formula(self):
+        dist = Exponential(rate=3.0)
+        x = np.array([0.0, 0.5, 2.0])
+        expected = np.log(3.0) - 3.0 * x
+        np.testing.assert_allclose(dist.log_pdf(x), expected)
+
+    def test_log_pdf_negative_support(self):
+        dist = Exponential(rate=3.0)
+        assert dist.log_pdf(np.array([-0.1]))[0] == -np.inf
+
+    def test_pdf_integrates_to_one(self):
+        dist = Exponential(rate=2.0)
+        x = np.linspace(0, 20, 200001)
+        integral = np.trapezoid(dist.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_quantile_roundtrip(self):
+        dist = Exponential(rate=7.0)
+        p = np.array([0.01, 0.5, 0.99])
+        np.testing.assert_allclose(dist.cdf(dist.quantile(p)), p, atol=1e-12)
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=1.0).quantile(np.array([1.5]))
+
+
+class TestFit:
+    def test_mle_is_inverse_mean(self, rng):
+        samples = Exponential(rate=3.0).sample(5000, rng)
+        fit = Exponential.fit(samples)
+        assert fit.rate == pytest.approx(1.0 / samples.mean())
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Exponential.fit([])
+
+    def test_fit_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Exponential.fit([1.0, -0.5])
+
+    def test_fit_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            Exponential.fit([0.0, 0.0])
+
+    def test_log_likelihood_maximized_at_mle(self, rng):
+        samples = Exponential(rate=2.0).sample(400, rng)
+        fit = Exponential.fit(samples)
+        ll_fit = fit.log_likelihood(samples)
+        for rate in (fit.rate * 0.8, fit.rate * 1.2):
+            assert Exponential(rate=rate).log_likelihood(samples) < ll_fit

@@ -1,0 +1,76 @@
+"""Tests for truncated-exponential sampling (paper Eq. 4's TrExp)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import TruncatedExponential, sample_truncated_exponential
+
+
+class TestSampleFunction:
+    def test_stays_inside_interval(self, rng):
+        x = sample_truncated_exponential(2.0, 0.5, rng, size=2000)
+        assert np.all(x > 0.0)
+        assert np.all(x < 0.5)
+
+    def test_scalar_return(self, rng):
+        x = sample_truncated_exponential(1.0, 1.0, rng)
+        assert isinstance(x, float)
+
+    def test_tiny_rate_is_nearly_uniform(self, rng):
+        x = sample_truncated_exponential(1e-15, 4.0, rng, size=20000)
+        # Uniform on (0, 4): mean 2, ks-ish check on quartiles.
+        assert x.mean() == pytest.approx(2.0, rel=0.05)
+        assert np.percentile(x, 25) == pytest.approx(1.0, rel=0.1)
+
+    def test_huge_rate_hugs_zero(self, rng):
+        x = sample_truncated_exponential(1e6, 1.0, rng, size=1000)
+        assert x.max() < 1e-4
+
+    def test_matches_analytic_mean(self, rng):
+        dist = TruncatedExponential(rate=3.0, width=0.7)
+        x = dist.sample(40000, rng)
+        assert x.mean() == pytest.approx(dist.mean, rel=0.02)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            sample_truncated_exponential(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            sample_truncated_exponential(1.0, 0.0)
+        with pytest.raises(ValueError):
+            sample_truncated_exponential(1.0, float("inf"))
+
+
+class TestDistributionObject:
+    def test_mean_nearly_uniform_limit(self):
+        dist = TruncatedExponential(rate=1e-10, width=2.0)
+        assert dist.mean == pytest.approx(1.0, rel=1e-6)
+
+    def test_mean_untruncated_limit(self):
+        # With width >> 1/rate the truncation is irrelevant.
+        dist = TruncatedExponential(rate=5.0, width=100.0)
+        assert dist.mean == pytest.approx(0.2, rel=1e-6)
+
+    def test_variance_uniform_limit(self):
+        dist = TruncatedExponential(rate=1e-9, width=3.0)
+        assert dist.variance == pytest.approx(9.0 / 12.0, rel=1e-4)
+
+    def test_log_pdf_normalized(self):
+        dist = TruncatedExponential(rate=2.0, width=1.5)
+        x = np.linspace(0, 1.5, 100001)
+        integral = np.trapezoid(np.exp(dist.log_pdf(x)), x)
+        assert integral == pytest.approx(1.0, abs=1e-5)
+
+    def test_log_pdf_outside_support(self):
+        dist = TruncatedExponential(rate=2.0, width=1.5)
+        assert dist.log_pdf(np.array([-0.1]))[0] == -np.inf
+        assert dist.log_pdf(np.array([1.6]))[0] == -np.inf
+
+    def test_fit_recovers_rate(self, rng):
+        true = TruncatedExponential(rate=4.0, width=1.0)
+        samples = true.sample(20000, rng)
+        fit = TruncatedExponential.fit(samples)
+        assert fit.rate == pytest.approx(4.0, rel=0.15)
+
+    def test_variance_positive(self):
+        dist = TruncatedExponential(rate=3.0, width=0.4)
+        assert 0.0 < dist.variance < dist.width**2

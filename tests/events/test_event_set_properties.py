@@ -1,0 +1,78 @@
+"""Property-based tests: simulator output is always a valid event set."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventSet, event_set_from_records, event_set_to_records
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.simulate import simulate_network
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_tasks=st.integers(min_value=1, max_value=40),
+    arrival_rate=st.floats(min_value=0.5, max_value=20.0),
+    service_rate=st.floats(min_value=0.5, max_value=20.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_simulated_tandem_always_valid(seed, n_tasks, arrival_rate, service_rate):
+    net = build_tandem_network(arrival_rate, [service_rate, service_rate * 2.0])
+    sim = simulate_network(net, n_tasks, random_state=seed)
+    sim.events.validate()
+    assert sim.events.n_tasks == n_tasks
+    assert np.all(sim.events.service_times() >= 0.0)
+    assert np.all(sim.events.waiting_times() >= 0.0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    servers=st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_simulated_three_tier_always_valid(seed, servers):
+    net = build_three_tier_network(8.0, servers)
+    sim = simulate_network(net, 25, random_state=seed)
+    sim.events.validate()
+    # Exactly 3 real visits + 1 initial event per task.
+    assert sim.events.n_events == 25 * 4
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_serialization_round_trip_preserves_validity(seed):
+    net = build_tandem_network(3.0, [5.0, 5.0])
+    sim = simulate_network(net, 15, random_state=seed)
+    records = event_set_to_records(sim.events)
+    rebuilt = event_set_from_records(records, n_queues=sim.events.n_queues)
+    rebuilt.validate()
+    assert rebuilt.log_joint(sim.true_rates()) == sim.events.log_joint(sim.true_rates())
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    move_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_arrival_moves_within_bounds_stay_valid(seed, move_seed):
+    """Any arrival placed inside its (L, U) interval keeps the set valid."""
+    from repro.inference.conditional import arrival_neighborhood
+
+    net = build_tandem_network(4.0, [5.0, 6.0])
+    sim = simulate_network(net, 20, random_state=seed)
+    ev = sim.events
+    rates = sim.true_rates()
+    rng = np.random.default_rng(move_seed)
+    movable = [e for e in range(ev.n_events) if ev.pi[e] >= 0]
+    for e in rng.choice(movable, size=min(10, len(movable)), replace=False):
+        nb = arrival_neighborhood(ev, int(e), rates)
+        lo, hi = nb.lower, nb.upper
+        if hi - lo <= 0.0:
+            continue
+        new = rng.uniform(lo, hi)
+        ev.set_arrival(int(e), new)
+        ev.validate()

@@ -1,0 +1,78 @@
+"""Tests for event-set serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidEventSetError
+from repro.events import (
+    event_set_from_records,
+    event_set_to_records,
+    load_jsonl,
+    save_jsonl,
+)
+from tests.events.test_event_set import two_task_tandem
+
+
+class TestRecords:
+    def test_round_trip(self):
+        ev = two_task_tandem()
+        records = event_set_to_records(ev)
+        assert len(records) == ev.n_events
+        rebuilt = event_set_from_records(records, n_queues=ev.n_queues)
+        rebuilt.validate()
+        # Compare per-task times (row order may differ).
+        for task_id in ev.task_ids:
+            a = ev.arrival[ev.events_of_task(task_id)]
+            b = rebuilt.arrival[rebuilt.events_of_task(task_id)]
+            np.testing.assert_allclose(a, b)
+
+    def test_shuffled_records_rebuild(self, rng):
+        ev = two_task_tandem()
+        records = event_set_to_records(ev)
+        rng.shuffle(records)
+        rebuilt = event_set_from_records(records, n_queues=ev.n_queues)
+        rebuilt.validate()
+        assert rebuilt.n_tasks == ev.n_tasks
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(InvalidEventSetError):
+            event_set_from_records([], n_queues=2)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(InvalidEventSetError):
+            event_set_from_records([{"task": 0}], n_queues=2)
+
+
+class TestJsonl:
+    def test_file_round_trip(self, tmp_path):
+        ev = two_task_tandem()
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(ev, path)
+        loaded = load_jsonl(path)
+        loaded.validate()
+        assert loaded.n_events == ev.n_events
+        assert loaded.n_queues == ev.n_queues
+        np.testing.assert_allclose(
+            sorted(loaded.departure), sorted(ev.departure)
+        )
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(InvalidEventSetError):
+            load_jsonl(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(InvalidEventSetError):
+            load_jsonl(path)
+
+    def test_simulated_trace_round_trip(self, tmp_path, tandem_sim):
+        path = tmp_path / "sim.jsonl"
+        save_jsonl(tandem_sim.events, path)
+        loaded = load_jsonl(path)
+        loaded.validate()
+        np.testing.assert_allclose(
+            loaded.mean_service_by_queue(), tandem_sim.events.mean_service_by_queue()
+        )

@@ -1,0 +1,71 @@
+"""Tests for task-subset extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidEventSetError
+from repro.events.subset import subset_tasks, subset_trace
+from repro.observation import TaskSampling
+
+
+class TestSubsetTasks:
+    def test_preserves_times_and_structure(self, tandem_sim):
+        ev = tandem_sim.events
+        chosen = ev.task_ids[:10]
+        subset, kept = subset_tasks(ev, chosen)
+        assert subset.n_tasks == 10
+        np.testing.assert_allclose(subset.arrival, ev.arrival[kept])
+        subset.validate()
+
+    def test_queue_order_is_restriction(self, tandem_sim):
+        ev = tandem_sim.events
+        chosen = set(ev.task_ids[::3])
+        subset, kept = subset_tasks(ev, chosen)
+        for q in range(ev.n_queues):
+            original = [int(e) for e in ev.queue_order(q) if int(ev.task[e]) in chosen]
+            mapped = [int(kept[i]) for i in subset.queue_order(q)]
+            assert original == mapped
+
+    def test_task_ids_preserved(self, tandem_sim):
+        ev = tandem_sim.events
+        chosen = [5, 17, 42]
+        subset, _ = subset_tasks(ev, chosen)
+        assert subset.task_ids == chosen
+
+    def test_rejects_empty(self, tandem_sim):
+        with pytest.raises(InvalidEventSetError):
+            subset_tasks(tandem_sim.events, [])
+
+    def test_rejects_unknown_task(self, tandem_sim):
+        with pytest.raises(InvalidEventSetError):
+            subset_tasks(tandem_sim.events, [10**9])
+
+    def test_statistics_consistent(self, tandem_sim):
+        ev = tandem_sim.events
+        subset, kept = subset_tasks(ev, ev.task_ids)
+        # Full subset == original.
+        np.testing.assert_allclose(
+            subset.mean_service_by_queue(), ev.mean_service_by_queue()
+        )
+
+
+class TestSubsetTrace:
+    def test_masks_follow(self, tandem_sim):
+        trace = TaskSampling(fraction=0.3).observe(tandem_sim.events, random_state=0)
+        chosen = tandem_sim.events.task_ids[:20]
+        sub = subset_trace(trace, chosen)
+        assert sub.skeleton.n_tasks == 20
+        # Observed fraction roughly preserved.
+        assert 0.0 <= sub.observed_fraction() <= 1.0
+        # Latent positions still nan.
+        lat = sub.latent_arrival_events
+        assert np.all(np.isnan(sub.skeleton.arrival[lat]))
+
+    def test_subset_inferencable(self, tandem_sim):
+        """A subset trace runs through the full inference stack."""
+        from repro.inference import run_stem
+
+        trace = TaskSampling(fraction=0.3).observe(tandem_sim.events, random_state=1)
+        sub = subset_trace(trace, tandem_sim.events.task_ids[:60])
+        stem = run_stem(sub, n_iterations=25, random_state=2, init_method="heuristic")
+        assert np.all(np.isfinite(stem.rates))

@@ -1,0 +1,59 @@
+"""Tests for the misspecification-robustness experiment."""
+
+import pytest
+
+from repro.distributions import Exponential
+from repro.experiments.robustness import run_robustness, service_family
+
+
+class TestServiceFamily:
+    @pytest.mark.parametrize(
+        "name,scv",
+        [
+            ("deterministic", 0.0),
+            ("erlang4", 0.25),
+            ("exponential", 1.0),
+            ("lognormal2", 2.0),
+        ],
+    )
+    def test_scv_values(self, name, scv):
+        dist = service_family(name, mean=0.2)
+        assert dist.mean == pytest.approx(0.2, rel=1e-9)
+        assert dist.scv == pytest.approx(scv, abs=1e-9)
+
+    def test_hyperexp_is_bursty(self):
+        dist = service_family("hyperexp4", mean=0.2)
+        assert dist.mean == pytest.approx(0.2, rel=1e-9)
+        assert dist.scv > 2.0
+
+    def test_exponential_is_exponential(self):
+        assert isinstance(service_family("exponential", 0.5), Exponential)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            service_family("pareto", 0.2)
+
+
+class TestRunRobustness:
+    def test_tiny_sweep(self):
+        points = run_robustness(
+            families=("exponential", "deterministic"),
+            n_tasks=120,
+            n_repetitions=1,
+            stem_iterations=25,
+            random_state=5,
+        )
+        assert len(points) == 2
+        for p in points:
+            assert p.mean_abs_error >= 0.0
+            assert p.relative_error == pytest.approx(p.mean_abs_error / 0.2)
+
+    def test_correct_specification_is_accurate(self):
+        points = run_robustness(
+            families=("exponential",),
+            n_tasks=300,
+            n_repetitions=2,
+            stem_iterations=50,
+            random_state=6,
+        )
+        assert points[0].relative_error < 0.5

@@ -1,0 +1,104 @@
+"""Tests for the FSM builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fsm import (
+    TaskPath,
+    chain_fsm,
+    load_balanced_fsm,
+    probabilistic_branch_fsm,
+    tiered_fsm,
+)
+
+
+class TestChainFSM:
+    def test_deterministic_path(self, rng):
+        fsm = chain_fsm([2, 1, 3], n_queues=4)
+        path = fsm.sample_path(rng)
+        assert path.queues == (2, 1, 3)
+
+    def test_allows_repeated_queues(self, rng):
+        fsm = chain_fsm([1, 1], n_queues=2)
+        assert fsm.sample_path(rng).queues == (1, 1)
+
+    def test_rejects_queue_zero(self):
+        with pytest.raises(ConfigurationError):
+            chain_fsm([0, 1], n_queues=2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            chain_fsm([5], n_queues=3)
+
+
+class TestTieredFSM:
+    def test_one_queue_per_tier(self, rng):
+        fsm = tiered_fsm([[1, 2], [3], [4, 5, 6]], n_queues=7)
+        for path in fsm.iter_sample_paths(30, rng):
+            assert len(path) == 3
+            assert path.queues[0] in (1, 2)
+            assert path.queues[1] == 3
+            assert path.queues[2] in (4, 5, 6)
+
+    def test_rejects_empty_tier(self):
+        with pytest.raises(ConfigurationError):
+            tiered_fsm([[1], []], n_queues=3)
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ConfigurationError):
+            tiered_fsm([[1, 2]], n_queues=3, weights=[[1.0]])
+
+    def test_weighted_dispatch(self, rng):
+        fsm = tiered_fsm([[1, 2]], n_queues=3, weights=[[9.0, 1.0]])
+        hits = sum(p.queues[0] == 1 for p in fsm.iter_sample_paths(2000, rng))
+        assert hits / 2000 == pytest.approx(0.9, abs=0.03)
+
+
+class TestLoadBalancedFSM:
+    def test_pre_and_post_queues(self, rng):
+        fsm = load_balanced_fsm(
+            server_queues=[2, 3], n_queues=5, pre_queues=[1], post_queues=[4, 1]
+        )
+        path = fsm.sample_path(rng)
+        assert path.queues[0] == 1
+        assert path.queues[1] in (2, 3)
+        assert path.queues[2] == 4
+        assert path.queues[3] == 1  # revisit of the shared network queue
+
+    def test_skewed_weights(self, rng):
+        fsm = load_balanced_fsm(
+            server_queues=[1, 2], n_queues=3, weights=[0.99, 0.01]
+        )
+        hits = sum(p.queues[0] == 2 for p in fsm.iter_sample_paths(3000, rng))
+        assert hits < 100
+
+
+class TestProbabilisticBranchFSM:
+    def test_single_visit_without_repeat(self, rng):
+        fsm = probabilistic_branch_fsm([1, 2], [0.5, 0.5], n_queues=3)
+        assert len(fsm.sample_path(rng)) == 1
+
+    def test_repeat_gives_geometric_lengths(self, rng):
+        fsm = probabilistic_branch_fsm([1], [1.0], n_queues=2, repeat_prob=0.5)
+        lengths = [len(fsm.sample_path(rng)) for _ in range(2000)]
+        assert np.mean(lengths) == pytest.approx(2.0, rel=0.1)
+
+    def test_rejects_repeat_prob_one(self):
+        with pytest.raises(ConfigurationError):
+            probabilistic_branch_fsm([1], [1.0], n_queues=2, repeat_prob=1.0)
+
+
+class TestTaskPath:
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            TaskPath(states=(1,), queues=(1, 2))
+
+    def test_rejects_queue_zero(self):
+        with pytest.raises(ConfigurationError):
+            TaskPath(states=(1,), queues=(0,))
+
+    def test_from_queues(self):
+        path = TaskPath.from_queues([3, 1, 2])
+        assert path.queues == (3, 1, 2)
+        assert path.n_events == 4

@@ -1,0 +1,144 @@
+"""Tests for the probabilistic FSM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fsm import ProbabilisticFSM, TaskPath, chain_fsm, tiered_fsm
+
+
+def simple_fsm(n_queues=3):
+    """0 -> 1 (emit queue 1 or 2) -> 2 (final)."""
+    transition = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]])
+    emission = np.zeros((3, n_queues))
+    emission[1, 1] = 0.5
+    emission[1, 2] = 0.5
+    return ProbabilisticFSM(transition=transition, emission=emission,
+                            initial_state=0, final_state=2)
+
+
+class TestValidation:
+    def test_rejects_nonsquare_transition(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticFSM(
+                transition=np.ones((2, 3)) / 3.0, emission=np.zeros((2, 2))
+            )
+
+    def test_rejects_non_stochastic_rows(self):
+        transition = np.array([[0.0, 0.5, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]])
+        emission = np.zeros((3, 2))
+        emission[1, 1] = 1.0
+        with pytest.raises(ConfigurationError):
+            ProbabilisticFSM(transition=transition, emission=emission, final_state=2)
+
+    def test_rejects_non_absorbing_final(self):
+        transition = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.5, 0.0, 0.5]])
+        emission = np.zeros((3, 2))
+        emission[1, 1] = 1.0
+        with pytest.raises(ConfigurationError):
+            ProbabilisticFSM(transition=transition, emission=emission, final_state=2)
+
+    def test_rejects_emission_on_queue_zero(self):
+        transition = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]])
+        emission = np.zeros((3, 2))
+        emission[1, 0] = 1.0
+        with pytest.raises(ConfigurationError):
+            ProbabilisticFSM(transition=transition, emission=emission, final_state=2)
+
+    def test_rejects_unreachable_final(self):
+        transition = np.array(
+            [[0.0, 1.0, 0.0, 0.0],
+             [0.0, 1.0, 0.0, 0.0],   # state 1 loops forever
+             [0.0, 0.0, 0.0, 1.0],
+             [0.0, 0.0, 0.0, 1.0]]
+        )
+        emission = np.zeros((4, 2))
+        emission[1, 1] = 1.0
+        emission[2, 1] = 1.0
+        with pytest.raises(ConfigurationError):
+            ProbabilisticFSM(transition=transition, emission=emission, final_state=3)
+
+    def test_rejects_same_initial_and_final(self):
+        transition = np.eye(2)
+        with pytest.raises(ConfigurationError):
+            ProbabilisticFSM(
+                transition=transition, emission=np.zeros((2, 2)),
+                initial_state=0, final_state=0,
+            )
+
+    def test_negative_final_state_wraps(self):
+        fsm = simple_fsm()
+        assert fsm.final_state == 2
+
+
+class TestSampling:
+    def test_path_structure(self, rng):
+        fsm = simple_fsm()
+        path = fsm.sample_path(rng)
+        assert isinstance(path, TaskPath)
+        assert len(path) == 1
+        assert path.queues[0] in (1, 2)
+
+    def test_emission_frequencies(self, rng):
+        fsm = simple_fsm()
+        counts = {1: 0, 2: 0}
+        for path in fsm.iter_sample_paths(4000, rng):
+            counts[path.queues[0]] += 1
+        assert counts[1] / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_nonabsorbing_numerical_guard(self, rng):
+        # repeat_prob close to 1 gives long but finite paths; max_length
+        # turns pathological loops into errors rather than hangs.
+        fsm = simple_fsm()
+        with pytest.raises(ConfigurationError):
+            fsm.sample_path(rng, max_length=0)
+
+
+class TestScoring:
+    def test_path_log_prob(self, rng):
+        fsm = simple_fsm()
+        path = TaskPath(states=(1,), queues=(1,))
+        # p = 1.0 (0->1) * 0.5 (emit q1) * 1.0 (1->final)
+        assert fsm.path_log_prob(path) == pytest.approx(np.log(0.5))
+
+    def test_impossible_path_is_minus_inf(self):
+        fsm = chain_fsm([1, 2], n_queues=3)
+        bad = TaskPath(states=(1, 2), queues=(2, 1))  # wrong order
+        assert fsm.path_log_prob(bad) == -np.inf
+
+    def test_sampled_paths_have_finite_log_prob(self, rng):
+        fsm = tiered_fsm([[1], [2, 3]], n_queues=4)
+        for path in fsm.iter_sample_paths(50, rng):
+            assert np.isfinite(fsm.path_log_prob(path))
+
+
+class TestExpectedVisits:
+    def test_chain_visits_every_queue_once(self):
+        fsm = chain_fsm([1, 2, 3], n_queues=4)
+        visits = fsm.expected_visits()
+        np.testing.assert_allclose(visits[1:], 1.0)
+        assert visits[0] == 0.0
+
+    def test_tiered_visits_split_by_weights(self):
+        fsm = tiered_fsm([[1, 2]], n_queues=3, weights=[[3.0, 1.0]])
+        visits = fsm.expected_visits()
+        assert visits[1] == pytest.approx(0.75)
+        assert visits[2] == pytest.approx(0.25)
+
+    def test_geometric_loop_visits(self):
+        from repro.fsm import probabilistic_branch_fsm
+
+        fsm = probabilistic_branch_fsm([1], [1.0], n_queues=2, repeat_prob=0.5)
+        visits = fsm.expected_visits()
+        # Geometric number of visits with mean 1 / (1 - 0.5) = 2.
+        assert visits[1] == pytest.approx(2.0)
+
+    def test_monte_carlo_agreement(self, rng):
+        fsm = tiered_fsm([[1], [2, 3]], n_queues=4)
+        visits = fsm.expected_visits()
+        counts = np.zeros(4)
+        n = 3000
+        for path in fsm.iter_sample_paths(n, rng):
+            for q in path.queues:
+                counts[q] += 1
+        np.testing.assert_allclose(counts / n, visits, atol=0.05)

@@ -1,0 +1,159 @@
+"""Exactness tests for the Gibbs conditionals (paper Eq. 2-4).
+
+The strongest possible check: for every event in a simulated trace, the
+conditional density returned by ``arrival_conditional`` must equal the
+joint density of Eq. (1) as a function of that arrival, up to an additive
+constant in log space — evaluated by brute force through
+``EventSet.log_joint``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference.conditional import (
+    arrival_conditional,
+    arrival_neighborhood,
+    final_departure_conditional,
+    markov_blanket,
+)
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.fsm import probabilistic_branch_fsm
+from repro.network.topology import INITIAL_QUEUE_NAME, QueueingNetwork
+from repro.distributions import Exponential
+from repro.simulate import simulate_network
+
+
+def assert_conditional_matches_joint(events, rates, kind="arrival", n_grid=9):
+    """For every movable variable, check conditional == joint + const."""
+    checked = 0
+    for e in range(events.n_events):
+        if kind == "arrival":
+            if events.pi[e] < 0:
+                continue
+            dist = arrival_conditional(events, e, rates)
+            setter, orig = events.set_arrival, float(events.arrival[e])
+        else:
+            if events.pi_inv[e] != -1:
+                continue
+            dist = final_departure_conditional(events, e, rates)
+            setter, orig = events.set_final_departure, float(events.departure[e])
+        if dist is None:
+            continue
+        lo, hi = dist.support
+        hi_eff = min(hi, lo + max(4.0, 4.0 * abs(lo)))
+        if hi_eff <= lo:
+            continue
+        grid = np.linspace(lo + 1e-10, hi_eff - 1e-10, n_grid)
+        diffs = []
+        for x in grid:
+            setter(int(e), float(x))
+            diffs.append(events.log_joint(rates) - dist.log_pdf(float(x)))
+        setter(int(e), orig)
+        diffs = np.array(diffs)
+        assert np.max(diffs) - np.min(diffs) < 1e-6, (
+            f"conditional mismatch at event {e}: spread "
+            f"{np.max(diffs) - np.min(diffs):.3e}"
+        )
+        checked += 1
+    assert checked > 0
+
+
+class TestArrivalConditionalExactness:
+    def test_tandem(self):
+        net = build_tandem_network(4.0, [5.0, 7.0])
+        sim = simulate_network(net, 40, random_state=11)
+        assert_conditional_matches_joint(sim.events, sim.true_rates(), "arrival")
+
+    def test_three_tier_with_overload(self):
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        sim = simulate_network(net, 40, random_state=13)
+        assert_conditional_matches_joint(sim.events, sim.true_rates(), "arrival")
+
+    def test_heterogeneous_rates(self):
+        net = build_tandem_network(2.0, [3.0, 30.0, 0.9])
+        sim = simulate_network(net, 30, random_state=17)
+        assert_conditional_matches_joint(sim.events, sim.true_rates(), "arrival")
+
+    def test_self_loop_revisits(self):
+        """Tasks visiting the same queue twice in a row (rho(e) == pi(e))."""
+        fsm = probabilistic_branch_fsm([1], [1.0], n_queues=2, repeat_prob=0.6)
+        net = QueueingNetwork(
+            queue_names=(INITIAL_QUEUE_NAME, "svc"),
+            services={INITIAL_QUEUE_NAME: Exponential(3.0), "svc": Exponential(5.0)},
+            fsm=fsm,
+        )
+        sim = simulate_network(net, 30, random_state=19)
+        # Confirm the scenario actually contains back-to-back visits.
+        ev = sim.events
+        has_self_loop = any(
+            ev.pi[e] >= 0 and ev.rho[e] == ev.pi[e] for e in range(ev.n_events)
+        )
+        assert has_self_loop
+        assert_conditional_matches_joint(ev, sim.true_rates(), "arrival")
+
+
+class TestFinalDepartureConditionalExactness:
+    def test_tandem(self):
+        net = build_tandem_network(4.0, [5.0, 7.0])
+        sim = simulate_network(net, 40, random_state=23)
+        assert_conditional_matches_joint(sim.events, sim.true_rates(), "departure")
+
+    def test_three_tier(self):
+        net = build_three_tier_network(10.0, (2, 1, 4))
+        sim = simulate_network(net, 40, random_state=29)
+        assert_conditional_matches_joint(sim.events, sim.true_rates(), "departure")
+
+
+class TestNeighborhood:
+    def test_bounds_bracket_current_value(self):
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        sim = simulate_network(net, 50, random_state=31)
+        ev = sim.events
+        rates = sim.true_rates()
+        for e in range(ev.n_events):
+            if ev.pi[e] < 0:
+                continue
+            nb = arrival_neighborhood(ev, e, rates)
+            assert nb.lower <= ev.arrival[e] + 1e-9
+            assert ev.arrival[e] <= nb.upper + 1e-9
+
+    def test_initial_event_rejected(self):
+        net = build_tandem_network(4.0, [5.0])
+        sim = simulate_network(net, 5, random_state=1)
+        first = sim.events.events_of_task(0)[0]
+        with pytest.raises(InferenceError):
+            arrival_neighborhood(sim.events, int(first), sim.true_rates())
+
+    def test_final_departure_rejects_inner_event(self):
+        net = build_tandem_network(4.0, [5.0, 6.0])
+        sim = simulate_network(net, 5, random_state=1)
+        inner = sim.events.events_of_task(0)[1]
+        with pytest.raises(InferenceError):
+            final_departure_conditional(sim.events, int(inner), sim.true_rates())
+
+    def test_markov_blanket_size(self):
+        """The blanket never exceeds the paper's Figure-2 neighborhood."""
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        sim = simulate_network(net, 60, random_state=37)
+        ev = sim.events
+        for e in range(ev.n_events):
+            if ev.pi[e] < 0:
+                continue
+            blanket = markov_blanket(ev, e)
+            assert 2 <= len(blanket["resampled"]) <= 3
+            assert len(blanket["fixed"]) <= 4
+            assert e in blanket["resampled"]
+            assert int(ev.pi[e]) in blanket["resampled"]
+
+    def test_conditional_support_is_positive_width_or_none(self):
+        net = build_three_tier_network(10.0, (4, 2, 1))
+        sim = simulate_network(net, 40, random_state=41)
+        rates = sim.true_rates()
+        for e in range(sim.events.n_events):
+            if sim.events.pi[e] < 0:
+                continue
+            dist = arrival_conditional(sim.events, e, rates)
+            if dist is not None:
+                lo, hi = dist.support
+                assert hi > lo

@@ -1,0 +1,51 @@
+"""Tests for posterior credible intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import GibbsSampler, heuristic_initialize
+from repro.observation import TaskSampling
+
+
+@pytest.fixture(scope="module")
+def samples(tandem_sim):
+    trace = TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=9)
+    rates = tandem_sim.true_rates()
+    state = heuristic_initialize(trace, rates)
+    sampler = GibbsSampler(trace, state, rates, random_state=10)
+    return sampler.collect(n_samples=40, burn_in=20), tandem_sim
+
+
+class TestCredibleInterval:
+    def test_interval_brackets_mean(self, samples):
+        posterior, _ = samples
+        lower, upper = posterior.credible_interval("service", level=0.9)
+        mean = posterior.posterior_mean_service()
+        for q in range(1, lower.size):
+            assert lower[q] <= mean[q] <= upper[q]
+
+    def test_wider_level_wider_interval(self, samples):
+        posterior, _ = samples
+        lo50, hi50 = posterior.credible_interval("waiting", level=0.5)
+        lo95, hi95 = posterior.credible_interval("waiting", level=0.95)
+        width50 = np.nan_to_num(hi50 - lo50)
+        width95 = np.nan_to_num(hi95 - lo95)
+        assert np.all(width95 >= width50 - 1e-12)
+
+    def test_covers_truth_at_true_rates(self, samples):
+        posterior, sim = samples
+        lower, upper = posterior.credible_interval("service", level=0.99)
+        truth = sim.events.mean_service_by_queue()
+        covered = sum(
+            lower[q] - 0.02 <= truth[q] <= upper[q] + 0.02
+            for q in range(1, lower.size)
+        )
+        assert covered == lower.size - 1
+
+    def test_validation(self, samples):
+        posterior, _ = samples
+        with pytest.raises(InferenceError):
+            posterior.credible_interval("latency")
+        with pytest.raises(InferenceError):
+            posterior.credible_interval("waiting", level=1.5)

@@ -1,0 +1,95 @@
+"""Tests for MCMC diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import autocorrelation, effective_sample_size, geweke_z
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        chain = rng.normal(size=500)
+        acf = autocorrelation(chain)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_iid_has_no_correlation(self, rng):
+        chain = rng.normal(size=20000)
+        acf = autocorrelation(chain, max_lag=5)
+        np.testing.assert_allclose(acf[1:], 0.0, atol=0.03)
+
+    def test_ar1_matches_theory(self, rng):
+        phi = 0.8
+        n = 50000
+        chain = np.empty(n)
+        chain[0] = 0.0
+        noise = rng.normal(size=n)
+        for i in range(1, n):
+            chain[i] = phi * chain[i - 1] + noise[i]
+        acf = autocorrelation(chain, max_lag=3)
+        np.testing.assert_allclose(acf[1:4], [phi, phi**2, phi**3], atol=0.03)
+
+    def test_constant_chain(self):
+        acf = autocorrelation(np.ones(100), max_lag=3)
+        np.testing.assert_allclose(acf, 1.0)
+
+    def test_rejects_short_chain(self):
+        with pytest.raises(InferenceError):
+            autocorrelation(np.array([1.0]))
+
+
+class TestESS:
+    def test_iid_ess_near_n(self, rng):
+        chain = rng.normal(size=5000)
+        ess = effective_sample_size(chain)
+        assert 0.7 * 5000 < ess <= 5000 * 1.2
+
+    def test_correlated_chain_has_lower_ess(self, rng):
+        phi = 0.9
+        n = 5000
+        chain = np.empty(n)
+        chain[0] = 0.0
+        noise = rng.normal(size=n)
+        for i in range(1, n):
+            chain[i] = phi * chain[i - 1] + noise[i]
+        ess = effective_sample_size(chain)
+        # Theoretical tau = (1+phi)/(1-phi) = 19 -> ESS ~ n/19.
+        assert ess < n / 8
+
+    def test_rejects_tiny_chain(self):
+        with pytest.raises(InferenceError):
+            effective_sample_size(np.array([1.0, 2.0]))
+
+
+class TestGeweke:
+    def test_stationary_chain_small_z(self, rng):
+        chain = rng.normal(size=4000)
+        assert abs(geweke_z(chain)) < 3.0
+
+    def test_drifting_chain_large_z(self, rng):
+        chain = np.linspace(0.0, 5.0, 2000) + rng.normal(size=2000) * 0.1
+        assert abs(geweke_z(chain)) > 5.0
+
+    def test_fraction_validation(self, rng):
+        chain = rng.normal(size=100)
+        with pytest.raises(InferenceError):
+            geweke_z(chain, first=0.7, last=0.7)
+
+    def test_rejects_short_chain(self):
+        with pytest.raises(InferenceError):
+            geweke_z(np.ones(10))
+
+
+class TestOnRealChains:
+    def test_gibbs_chain_diagnostics(self, tandem_sim, tandem_trace):
+        """Run diagnostics on an actual sampler chain end to end."""
+        from repro.inference import GibbsSampler, heuristic_initialize
+
+        rates = tandem_sim.true_rates()
+        state = heuristic_initialize(tandem_trace, rates)
+        sampler = GibbsSampler(tandem_trace, state, rates, random_state=0)
+        samples = sampler.collect(n_samples=60, burn_in=20)
+        chain = samples.mean_service[:, 1]
+        ess = effective_sample_size(chain)
+        assert 1.0 <= ess <= 60.0
+        assert np.isfinite(geweke_z(chain))

@@ -1,0 +1,64 @@
+"""Tests for Monte-Carlo EM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import run_mcem, run_stem
+from repro.network import build_tandem_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+
+@pytest.fixture(scope="module")
+def mcem_setup():
+    net = build_tandem_network(4.0, [6.0, 9.0])
+    sim = simulate_network(net, 300, random_state=55)
+    trace = TaskSampling(fraction=0.15).observe(sim.events, random_state=5)
+    return sim, trace
+
+
+class TestRunMCEM:
+    def test_recovers_rates(self, mcem_setup):
+        sim, trace = mcem_setup
+        result = run_mcem(
+            trace, n_iterations=12, e_sweeps=8, random_state=1, init_method="heuristic"
+        )
+        np.testing.assert_allclose(result.rates, sim.true_rates(), rtol=0.4)
+
+    def test_history_and_sweep_accounting(self, mcem_setup):
+        _, trace = mcem_setup
+        result = run_mcem(
+            trace, n_iterations=4, e_sweeps=5, e_burn_in=2, random_state=2,
+            init_method="heuristic",
+        )
+        assert result.rates_history.shape == (5, trace.skeleton.n_queues)
+        assert result.total_sweeps == 4 * (5 + 2)
+
+    def test_growth_schedule(self, mcem_setup):
+        _, trace = mcem_setup
+        result = run_mcem(
+            trace, n_iterations=3, e_sweeps=4, e_burn_in=0, growth=2.0,
+            random_state=3, init_method="heuristic",
+        )
+        # 4 + 8 + 16 sweeps.
+        assert result.total_sweeps == 28
+
+    def test_parameter_validation(self, mcem_setup):
+        _, trace = mcem_setup
+        with pytest.raises(InferenceError):
+            run_mcem(trace, n_iterations=0)
+        with pytest.raises(InferenceError):
+            run_mcem(trace, growth=0.5)
+
+    def test_mcem_iterates_smoother_than_stem(self, mcem_setup):
+        """MCEM averages sweeps per E-step, so its trajectory jitters less."""
+        _, trace = mcem_setup
+        stem = run_stem(trace, n_iterations=24, random_state=4, init_method="heuristic")
+        mcem = run_mcem(
+            trace, n_iterations=24, e_sweeps=10, random_state=4,
+            init_method="heuristic",
+        )
+        stem_jitter = np.abs(np.diff(stem.rates_history[8:], axis=0)).mean()
+        mcem_jitter = np.abs(np.diff(mcem.rates_history[8:], axis=0)).mean()
+        assert mcem_jitter < stem_jitter

@@ -1,0 +1,56 @@
+"""Tests for the M-step MLE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import mle_rates
+from repro.network import build_tandem_network
+from repro.simulate import simulate_network
+
+
+class TestMLE:
+    def test_matches_closed_form(self, tandem_sim):
+        ev = tandem_sim.events
+        rates = mle_rates(ev)
+        services = ev.service_times()
+        for q in range(ev.n_queues):
+            members = ev.queue_order(q)
+            assert rates[q] == pytest.approx(members.size / services[members].sum())
+
+    def test_consistency_at_scale(self):
+        net = build_tandem_network(6.0, [9.0, 12.0])
+        sim = simulate_network(net, 5000, random_state=77)
+        rates = mle_rates(sim.events)
+        np.testing.assert_allclose(rates, [6.0, 9.0, 12.0], rtol=0.06)
+
+    def test_arrival_rate_is_queue_zero(self, tandem_sim):
+        rates = mle_rates(tandem_sim.events)
+        ev = tandem_sim.events
+        entries = np.sort(ev.departure[ev.seq == 0])
+        assert rates[0] == pytest.approx(len(entries) / entries[-1])
+
+    def test_rejects_infeasible(self, tandem_sim):
+        ev = tandem_sim.events.copy()
+        last = ev.events_of_task(0)[-1]
+        ev.departure[last] -= 100.0
+        with pytest.raises(InferenceError):
+            mle_rates(ev)
+
+    def test_clamps_extremes(self, tandem_sim):
+        ev = tandem_sim.events.copy()
+        rates = mle_rates(ev, min_rate=1.0, max_rate=7.0)
+        assert np.all(rates >= 1.0)
+        assert np.all(rates <= 7.0)
+
+    def test_prior_regularization_shrinks(self, tandem_sim):
+        ev = tandem_sim.events
+        plain = mle_rates(ev)
+        prior = np.full(ev.n_queues, 100.0)
+        regularized = mle_rates(ev, prior_strength=50.0, prior_rates=prior)
+        # The prior pulls every rate toward 100.
+        assert np.all(regularized > plain)
+
+    def test_prior_needs_rates(self, tandem_sim):
+        with pytest.raises(InferenceError):
+            mle_rates(tandem_sim.events, prior_strength=1.0)

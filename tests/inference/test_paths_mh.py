@@ -1,0 +1,212 @@
+"""Tests for the outer Metropolis-Hastings path resampler (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    GibbsSampler,
+    PathResampler,
+    heuristic_initialize,
+    mle_rates,
+    tier_candidates_from_fsm,
+)
+from repro.network import build_three_tier_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+
+@pytest.fixture(scope="module")
+def tiered_setup():
+    """A three-tier network where the middle tier has 3 candidate servers."""
+    net = build_three_tier_network(6.0, (1, 3, 1), service_rate=5.0)
+    sim = simulate_network(net, 200, random_state=303)
+    return net, sim
+
+
+def unknown_tier_events(net, sim, trace):
+    """Events at the replicated tier belonging to unobserved tasks."""
+    ev = sim.events
+    tier_queues = {net.queue_index(f"app-{j}") for j in range(3)}
+    unknown = [
+        e for e in range(ev.n_events)
+        if int(ev.queue[e]) in tier_queues and not trace.arrival_observed[e]
+    ]
+    return np.array(unknown, dtype=np.int64)
+
+
+class TestReassignQueue:
+    def test_round_trip_restores_structure(self, tiered_setup):
+        net, sim = tiered_setup
+        ev = sim.events.copy()
+        tier = [net.queue_index(f"app-{j}") for j in range(3)]
+        e = int(ev.queue_order(tier[0])[3])
+        before_rho = ev.rho.copy()
+        ev.reassign_queue(e, tier[1])
+        assert ev.queue[e] == tier[1]
+        ev.reassign_queue(e, tier[0])
+        np.testing.assert_array_equal(ev.rho, before_rho)
+        ev.validate()
+
+    def test_pointers_consistent_after_move(self, tiered_setup):
+        net, sim = tiered_setup
+        ev = sim.events.copy()
+        tier = [net.queue_index(f"app-{j}") for j in range(3)]
+        e = int(ev.queue_order(tier[0])[5])
+        ev.reassign_queue(e, tier[2])
+        for q in range(ev.n_queues):
+            order = ev.queue_order(q)
+            for i, x in enumerate(order):
+                assert ev.queue[x] == q
+                expected_rho = order[i - 1] if i > 0 else -1
+                assert ev.rho[x] == expected_rho
+        # Arrival order at the target queue remains sorted.
+        order = ev.queue_order(tier[2])
+        assert np.all(np.diff(ev.arrival[order]) >= 0.0)
+
+    def test_rejects_initial_event(self, tiered_setup):
+        _, sim = tiered_setup
+        ev = sim.events.copy()
+        first = int(ev.events_of_task(0)[0])
+        from repro.errors import InvalidEventSetError
+
+        with pytest.raises(InvalidEventSetError):
+            ev.reassign_queue(first, 1)
+
+    def test_rejects_queue_zero(self, tiered_setup):
+        _, sim = tiered_setup
+        ev = sim.events.copy()
+        e = int(ev.events_of_task(0)[1])
+        from repro.errors import InvalidEventSetError
+
+        with pytest.raises(InvalidEventSetError):
+            ev.reassign_queue(e, 0)
+
+    def test_copy_isolated_from_reassignment(self, tiered_setup):
+        net, sim = tiered_setup
+        ev = sim.events.copy()
+        clone = ev.copy()
+        tier = [net.queue_index(f"app-{j}") for j in range(3)]
+        e = int(ev.queue_order(tier[0])[2])
+        ev.reassign_queue(e, tier[1])
+        assert clone.queue[e] == tier[0]
+        clone.validate()
+
+
+class TestCandidates:
+    def test_candidates_cover_tier(self, tiered_setup):
+        net, sim = tiered_setup
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=1)
+        unknown = unknown_tier_events(net, sim, trace)
+        candidates = tier_candidates_from_fsm(sim.events, net.fsm, unknown)
+        tier = {net.queue_index(f"app-{j}") for j in range(3)}
+        for e, (queues, probs) in candidates.items():
+            assert set(queues.tolist()) == tier
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_missing_state_rejected(self, tiered_setup):
+        net, sim = tiered_setup
+        ev = sim.events.copy()
+        e = int(unknown_tier_events(net, sim, TaskSampling(fraction=0.2).observe(
+            sim.events, random_state=1))[0])
+        ev.state[e] = -1
+        with pytest.raises(InferenceError):
+            tier_candidates_from_fsm(ev, net.fsm, np.array([e]))
+
+
+class TestPathResampler:
+    def test_sweep_keeps_state_valid(self, tiered_setup):
+        net, sim = tiered_setup
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=1)
+        unknown = unknown_tier_events(net, sim, trace)
+        state = heuristic_initialize(trace, sim.true_rates())
+        candidates = tier_candidates_from_fsm(state, net.fsm, unknown)
+        resampler = PathResampler(state, candidates, sim.true_rates(), random_state=2)
+        for _ in range(4):
+            stats = resampler.sweep()
+            state.validate()
+        assert stats.n_proposed == unknown.size
+
+    def test_moves_actually_happen(self, tiered_setup):
+        net, sim = tiered_setup
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=1)
+        unknown = unknown_tier_events(net, sim, trace)
+        state = heuristic_initialize(trace, sim.true_rates())
+        before = state.queue[unknown].copy()
+        candidates = tier_candidates_from_fsm(state, net.fsm, unknown)
+        resampler = PathResampler(state, candidates, sim.true_rates(), random_state=3)
+        for _ in range(5):
+            resampler.sweep()
+        moved = np.mean(state.queue[unknown] != before)
+        assert moved > 0.2
+
+    def test_acceptance_rate_sane(self, tiered_setup):
+        net, sim = tiered_setup
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=1)
+        unknown = unknown_tier_events(net, sim, trace)
+        state = heuristic_initialize(trace, sim.true_rates())
+        candidates = tier_candidates_from_fsm(state, net.fsm, unknown)
+        resampler = PathResampler(state, candidates, sim.true_rates(), random_state=4)
+        stats = resampler.sweep()
+        assert 0.0 <= stats.acceptance_rate <= 1.0
+
+    def test_current_queue_must_be_candidate(self, tiered_setup):
+        net, sim = tiered_setup
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=1)
+        unknown = unknown_tier_events(net, sim, trace)
+        state = heuristic_initialize(trace, sim.true_rates())
+        e = int(unknown[0])
+        bad = {e: (np.array([1]), np.array([1.0]))}  # queue 1 = web tier
+        if int(state.queue[e]) != 1:
+            with pytest.raises(InferenceError):
+                PathResampler(state, bad, sim.true_rates())
+
+
+class TestJointInference:
+    def test_interleaved_gibbs_and_paths_recovers_rates(self, tiered_setup):
+        """Joint sampling over times AND assignments still estimates mu.
+
+        We deliberately scramble the unknown events' server assignments
+        before inference, so only the path moves can repair them.
+        """
+        net, sim = tiered_setup
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=5)
+        unknown = unknown_tier_events(net, sim, trace)
+        rng = np.random.default_rng(6)
+        tier = [net.queue_index(f"app-{j}") for j in range(3)]
+
+        rates = sim.true_rates()
+        state = heuristic_initialize(trace, rates)
+
+        # Scramble assignments (simulating "not logged"): move each unknown
+        # event to a random tier server, keeping the state feasible (revert
+        # moves that would force negative service somewhere).
+        scrambled = 0
+        for e in unknown:
+            e = int(e)
+            q_before = int(state.queue[e])
+            q_new = int(rng.choice(tier))
+            state.reassign_queue(e, q_new)
+            if not state.is_valid():
+                state.reassign_queue(e, q_before)
+            elif q_new != q_before:
+                scrambled += 1
+        assert scrambled > unknown.size // 4
+        state.validate()
+        sampler = GibbsSampler(trace, state, rates, random_state=7)
+        candidates = tier_candidates_from_fsm(state, net.fsm, unknown)
+        paths = PathResampler(state, candidates, rates, random_state=8)
+
+        estimates = []
+        for _ in range(40):
+            sampler.sweep()
+            paths.sweep()
+            new_rates = mle_rates(state)
+            sampler.set_rates(new_rates)
+            paths.set_rates(new_rates)
+            estimates.append(new_rates)
+        estimate = np.array(estimates)[20:].mean(axis=0)
+        # Tier-average service rate recovered despite scrambled paths.
+        tier_rates = estimate[tier]
+        assert np.mean(1.0 / tier_rates) == pytest.approx(0.2, rel=0.45)
+        assert estimate[0] == pytest.approx(6.0, rel=0.25)

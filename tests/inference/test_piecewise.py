@@ -1,0 +1,139 @@
+"""Tests for the piecewise-exponential density (paper Figure 3 machinery)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.errors import InferenceError
+from repro.inference import PiecewiseExponential
+
+
+class TestConstruction:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(InferenceError):
+            PiecewiseExponential([0.0, 1.0], [1.0, 2.0])
+
+    def test_requires_finite_left(self):
+        with pytest.raises(InferenceError):
+            PiecewiseExponential([-np.inf, 1.0], [1.0])
+
+    def test_requires_decay_for_infinite_tail(self):
+        with pytest.raises(InferenceError):
+            PiecewiseExponential([0.0, np.inf], [0.5])
+        PiecewiseExponential([0.0, np.inf], [-0.5])  # fine
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(InferenceError):
+            PiecewiseExponential([1.0, 1.0], [0.0])
+
+    def test_drops_zero_width_pieces(self):
+        dist = PiecewiseExponential([0.0, 0.5, 0.5, 1.0], [1.0, 2.0, -1.0])
+        assert dist.n_pieces == 2
+
+    def test_rejects_decreasing_knots(self):
+        with pytest.raises(InferenceError):
+            PiecewiseExponential([0.0, 1.0, 0.5], [1.0, 1.0])
+
+
+class TestAgainstNumericalIntegration:
+    """The exact validation behind benchmark fig3: compare every quantity
+    with brute-force numerical integration of exp(phi(x))."""
+
+    CASES = [
+        ([0.0, 1.0], [-2.0]),
+        ([0.0, 1.0], [3.0]),
+        ([0.0, 1.0], [0.0]),
+        ([2.0, 3.0, 5.0], [-1.0, 2.0]),
+        ([0.0, 0.5, 1.0, 4.0], [-5.0, 0.0, 5.0]),
+        ([1.0, 1.001, 1.002], [800.0, -900.0]),
+        ([0.0, 10.0, 20.0], [1e-16, -1e-16]),
+    ]
+
+    def _brute_phi(self, knots, slopes, x):
+        phi = 0.0
+        for i, c in enumerate(slopes):
+            lo, hi = knots[i], knots[i + 1]
+            if x <= hi:
+                return phi + c * (x - lo)
+            phi += c * (hi - lo)
+        return phi
+
+    @pytest.mark.parametrize("knots,slopes", CASES)
+    def test_pdf_matches_brute_force(self, knots, slopes):
+        dist = PiecewiseExponential(knots, slopes)
+        z, _ = integrate.quad(
+            lambda x: np.exp(self._brute_phi(knots, slopes, x)),
+            knots[0], knots[-1], points=knots[1:-1], limit=200,
+        )
+        xs = np.linspace(knots[0] + 1e-9, knots[-1] - 1e-9, 17)
+        for x in xs:
+            expected = np.exp(self._brute_phi(knots, slopes, x)) / z
+            assert np.exp(dist.log_pdf(float(x))) == pytest.approx(expected, rel=1e-6)
+
+    @pytest.mark.parametrize("knots,slopes", CASES)
+    def test_cdf_matches_brute_force(self, knots, slopes):
+        dist = PiecewiseExponential(knots, slopes)
+        z, _ = integrate.quad(
+            lambda x: np.exp(self._brute_phi(knots, slopes, x)),
+            knots[0], knots[-1], points=knots[1:-1], limit=200,
+        )
+        for x in np.linspace(knots[0], knots[-1], 9):
+            num, _ = integrate.quad(
+                lambda t: np.exp(self._brute_phi(knots, slopes, t)),
+                knots[0], x, limit=200,
+            )
+            assert dist.cdf(float(x)) == pytest.approx(num / z, abs=1e-7)
+
+    @pytest.mark.parametrize("knots,slopes", CASES)
+    def test_mean_matches_brute_force(self, knots, slopes):
+        dist = PiecewiseExponential(knots, slopes)
+        z, _ = integrate.quad(
+            lambda x: np.exp(self._brute_phi(knots, slopes, x)),
+            knots[0], knots[-1], points=knots[1:-1], limit=200,
+        )
+        m, _ = integrate.quad(
+            lambda x: x * np.exp(self._brute_phi(knots, slopes, x)),
+            knots[0], knots[-1], points=knots[1:-1], limit=200,
+        )
+        assert dist.mean() == pytest.approx(m / z, rel=1e-6)
+
+    def test_infinite_tail_mean(self):
+        # Pure exponential shifted to start at 3: mean = 3 + 1/2.
+        dist = PiecewiseExponential([3.0, np.inf], [-2.0])
+        assert dist.mean() == pytest.approx(3.5)
+
+
+class TestSampling:
+    @pytest.mark.parametrize("knots,slopes", TestAgainstNumericalIntegration.CASES)
+    def test_samples_match_cdf(self, knots, slopes, rng):
+        """KS-style check: empirical CDF of draws vs exact CDF."""
+        dist = PiecewiseExponential(knots, slopes)
+        draws = np.array([dist.sample(rng) for _ in range(4000)])
+        assert np.all(draws >= knots[0])
+        assert np.all(draws <= knots[-1])
+        u = np.array([dist.cdf(float(x)) for x in draws])
+        # PIT: transformed draws must be Unif(0,1).
+        grid = np.linspace(0.05, 0.95, 19)
+        emp = np.array([np.mean(u <= g) for g in grid])
+        assert np.max(np.abs(emp - grid)) < 0.035
+
+    def test_infinite_tail_sampling(self, rng):
+        dist = PiecewiseExponential([1.0, np.inf], [-4.0])
+        draws = np.array([dist.sample(rng) for _ in range(20000)])
+        assert draws.min() >= 1.0
+        assert draws.mean() == pytest.approx(1.25, rel=0.03)
+
+    def test_piece_probabilities_sum_to_one(self):
+        dist = PiecewiseExponential([0.0, 1.0, 2.0, 3.0], [1.0, 0.0, -1.0])
+        probs = dist.piece_probabilities()
+        assert probs.shape == (3,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_extreme_slopes_no_overflow(self, rng):
+        # Slopes that would overflow a naive exp() implementation.
+        dist = PiecewiseExponential([0.0, 1.0, 2.0], [1000.0, -1000.0])
+        x = dist.sample(rng)
+        assert 0.0 <= x <= 2.0
+        # Virtually all mass near the middle knot.
+        assert dist.cdf(0.98) < 0.01
+        assert dist.cdf(1.02) > 0.99

@@ -1,0 +1,60 @@
+"""Tests for posterior summaries at fixed parameters."""
+
+import numpy as np
+import pytest
+
+from repro.inference import estimate_posterior, run_stem
+from repro.observation import TaskSampling
+
+
+class TestEstimatePosterior:
+    def test_summary_shapes(self, tandem_sim, tandem_trace):
+        summary = estimate_posterior(
+            tandem_trace, rates=tandem_sim.true_rates(),
+            n_samples=8, burn_in=4, random_state=0,
+        )
+        n_queues = tandem_sim.events.n_queues
+        assert summary.n_queues == n_queues
+        for arr in (summary.service_mean, summary.service_std,
+                    summary.waiting_mean, summary.waiting_std):
+            assert arr.shape == (n_queues,)
+        assert summary.samples.n_samples == 8
+
+    def test_tracks_ground_truth_at_true_rates(self, tandem_sim, tandem_trace):
+        summary = estimate_posterior(
+            tandem_trace, rates=tandem_sim.true_rates(),
+            n_samples=25, burn_in=15, random_state=1,
+        )
+        true_service = tandem_sim.events.mean_service_by_queue()
+        np.testing.assert_allclose(
+            summary.service_mean[1:], true_service[1:], rtol=0.3
+        )
+
+    def test_default_rates_smoke(self, tandem_trace):
+        summary = estimate_posterior(
+            tandem_trace, n_samples=4, burn_in=2, random_state=2
+        )
+        assert np.all(np.isfinite(summary.service_mean[1:]))
+
+    def test_warm_state_reuse(self, tandem_sim, tandem_trace):
+        stem = run_stem(
+            tandem_trace, n_iterations=20, random_state=3, init_method="heuristic"
+        )
+        summary = estimate_posterior(
+            tandem_trace, rates=stem.rates, state=stem.sampler.state,
+            n_samples=6, burn_in=2, random_state=4,
+        )
+        np.testing.assert_allclose(summary.rates, stem.rates)
+
+    def test_uncertainty_shrinks_with_more_data(self, tandem_sim):
+        stds = {}
+        for fraction in (0.05, 0.6):
+            trace = TaskSampling(fraction=fraction).observe(
+                tandem_sim.events, random_state=5
+            )
+            summary = estimate_posterior(
+                trace, rates=tandem_sim.true_rates(),
+                n_samples=20, burn_in=10, random_state=6,
+            )
+            stds[fraction] = float(np.nanmean(summary.service_std[1:]))
+        assert stds[0.6] < stds[0.05]

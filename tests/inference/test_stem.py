@@ -1,0 +1,106 @@
+"""Tests for stochastic EM (paper Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import run_stem
+from repro.network import build_tandem_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+
+@pytest.fixture(scope="module")
+def stem_setup():
+    net = build_tandem_network(4.0, [6.0, 9.0])
+    sim = simulate_network(net, 400, random_state=88)
+    trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=8)
+    return sim, trace
+
+
+class TestRunStem:
+    def test_recovers_rates(self, stem_setup):
+        sim, trace = stem_setup
+        result = run_stem(trace, n_iterations=80, random_state=1, init_method="heuristic")
+        true = sim.true_rates()
+        np.testing.assert_allclose(result.rates, true, rtol=0.35)
+        # Arrival rate is the easiest: tighter bound.
+        assert result.arrival_rate == pytest.approx(true[0], rel=0.15)
+
+    def test_history_shape_and_burn_in(self, stem_setup):
+        _, trace = stem_setup
+        result = run_stem(trace, n_iterations=20, burn_in=5, random_state=2,
+                          init_method="heuristic")
+        assert result.rates_history.shape == (21, trace.skeleton.n_queues)
+        assert result.burn_in == 5
+        np.testing.assert_allclose(
+            result.rates, result.rates_history[5:].mean(axis=0)
+        )
+
+    def test_mean_service_times_inverse(self, stem_setup):
+        _, trace = stem_setup
+        result = run_stem(trace, n_iterations=10, random_state=3, init_method="heuristic")
+        np.testing.assert_allclose(result.mean_service_times(), 1.0 / result.rates)
+
+    def test_final_state_valid_and_reusable(self, stem_setup):
+        _, trace = stem_setup
+        result = run_stem(trace, n_iterations=15, random_state=4, init_method="heuristic")
+        result.sampler.state.validate()
+        np.testing.assert_allclose(result.sampler.rates, result.rates)
+        result.sampler.sweep()  # still usable
+
+    def test_iterate_std_positive(self, stem_setup):
+        _, trace = stem_setup
+        result = run_stem(trace, n_iterations=30, random_state=5, init_method="heuristic")
+        assert np.all(result.iterate_std() >= 0.0)
+        assert np.any(result.iterate_std() > 0.0)
+
+    def test_explicit_initial_rates(self, stem_setup):
+        sim, trace = stem_setup
+        result = run_stem(
+            trace, n_iterations=10, random_state=6,
+            initial_rates=sim.true_rates(), init_method="heuristic",
+        )
+        np.testing.assert_allclose(result.rates_history[0], sim.true_rates())
+
+    def test_validation_errors(self, stem_setup):
+        _, trace = stem_setup
+        with pytest.raises(InferenceError):
+            run_stem(trace, n_iterations=0)
+        with pytest.raises(InferenceError):
+            run_stem(trace, n_iterations=10, burn_in=10)
+
+    def test_sweeps_per_iteration(self, stem_setup):
+        _, trace = stem_setup
+        result = run_stem(
+            trace, n_iterations=10, sweeps_per_iteration=3, random_state=7,
+            init_method="heuristic",
+        )
+        assert result.sampler.n_sweeps_done == 30
+
+    def test_reproducible(self, stem_setup):
+        _, trace = stem_setup
+        a = run_stem(trace, n_iterations=10, random_state=9, init_method="heuristic")
+        b = run_stem(trace, n_iterations=10, random_state=9, init_method="heuristic")
+        np.testing.assert_array_equal(a.rates_history, b.rates_history)
+
+
+class TestMoreDataHelps:
+    def test_error_decreases_with_observation_rate(self):
+        """The central claim of Figure 4, in miniature."""
+        net = build_tandem_network(4.0, [6.0, 9.0])
+        sim = simulate_network(net, 500, random_state=99)
+        true = sim.true_rates()
+        errors = {}
+        for fraction in (0.05, 0.5):
+            errs = []
+            for rep in range(3):
+                trace = TaskSampling(fraction=fraction).observe(
+                    sim.events, random_state=rep
+                )
+                result = run_stem(
+                    trace, n_iterations=60, random_state=rep, init_method="heuristic"
+                )
+                errs.append(np.abs(1.0 / result.rates[1:] - 1.0 / true[1:]).mean())
+            errors[fraction] = np.mean(errs)
+        assert errors[0.5] < errors[0.05]

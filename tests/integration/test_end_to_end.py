@@ -1,0 +1,99 @@
+"""End-to-end integration tests: the paper's pipeline at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import complete_data_mle
+from repro.inference import estimate_posterior, run_stem
+from repro.localization import rank_bottlenecks
+from repro.network import build_three_tier_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+
+class TestSyntheticPipeline:
+    """Simulate -> censor -> StEM -> posterior -> localize, checked end to end."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        network = build_three_tier_network(10.0, (1, 2, 4))
+        sim = simulate_network(network, 600, random_state=2024)
+        trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=11)
+        stem = run_stem(
+            trace, n_iterations=80, random_state=12, init_method="heuristic"
+        )
+        posterior = estimate_posterior(
+            trace, rates=stem.rates, n_samples=20, burn_in=10,
+            state=stem.sampler.state, random_state=13,
+        )
+        return sim, trace, stem, posterior
+
+    def test_service_times_recovered(self, pipeline):
+        sim, _, stem, _ = pipeline
+        true_service = sim.events.mean_service_by_queue()
+        est_service = stem.mean_service_times()
+        errors = np.abs(est_service[1:] - true_service[1:])
+        # Paper: median abs error 0.033 at 5%; we are at 10% but smaller n.
+        assert np.median(errors) < 0.08
+
+    def test_arrival_rate_recovered(self, pipeline):
+        _, _, stem, _ = pipeline
+        assert stem.arrival_rate == pytest.approx(10.0, rel=0.15)
+
+    def test_waiting_identifies_overloaded_tier(self, pipeline):
+        sim, _, _, posterior = pipeline
+        est_waiting = posterior.waiting_mean
+        # Queue 1 (rho = 2) has by far the largest waiting.
+        assert np.nanargmax(est_waiting[1:]) + 1 == 1
+
+    def test_waiting_magnitude_matches_truth(self, pipeline):
+        sim, _, _, posterior = pipeline
+        true_waiting = sim.events.mean_waiting_by_queue()
+        assert posterior.waiting_mean[1] == pytest.approx(true_waiting[1], rel=0.3)
+
+    def test_localization_ranks_bottleneck_first(self, pipeline):
+        sim, _, _, posterior = pipeline
+        ranked = rank_bottlenecks(posterior, sim.network.queue_names)
+        assert ranked[0].name == "web"
+        assert ranked[0].verdict == "overloaded"
+
+    def test_stem_not_far_from_complete_data_mle(self, pipeline):
+        sim, _, stem, _ = pipeline
+        oracle = complete_data_mle(sim.events)
+        # Service-time scale: 10% data vs 100% data within ~2.5x error of
+        # each other against truth is expected; just require same decade.
+        ratio = stem.rates[1:] / oracle[1:]
+        assert np.all(ratio > 0.4)
+        assert np.all(ratio < 2.5)
+
+
+class TestStemAcrossLoads:
+    """Estimation quality holds in light, critical, and overloaded regimes."""
+
+    @pytest.mark.parametrize("arrival_rate", [2.0, 4.5, 8.0])
+    def test_single_queue_regimes(self, arrival_rate):
+        from repro.network import build_tandem_network
+
+        net = build_tandem_network(arrival_rate, [5.0])
+        sim = simulate_network(net, 400, random_state=int(arrival_rate * 10))
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=1)
+        stem = run_stem(trace, n_iterations=60, random_state=2, init_method="heuristic")
+        true_service = sim.events.mean_service_by_queue()[1]
+        assert stem.mean_service_times()[1] == pytest.approx(true_service, rel=0.35)
+
+
+class TestEventSamplingPipeline:
+    """The general O ⊂ E regime (scattered observations) also works."""
+
+    def test_partial_task_observation(self):
+        from repro.network import build_tandem_network
+        from repro.observation import EventSampling
+
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        sim = simulate_network(net, 400, random_state=31)
+        trace = EventSampling(fraction=0.3, observe_final_departures=True).observe(
+            sim.events, random_state=3
+        )
+        stem = run_stem(trace, n_iterations=60, random_state=4, init_method="heuristic")
+        np.testing.assert_allclose(stem.rates, sim.true_rates(), rtol=0.5)
+        assert stem.arrival_rate == pytest.approx(4.0, rel=0.2)

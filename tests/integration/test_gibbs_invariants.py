@@ -1,0 +1,85 @@
+"""Property-based invariant tests for the Gibbs + path samplers.
+
+Whatever the seed, the observation pattern, and the (positive) rate
+vector, a sweep must preserve every deterministic constraint, keep the
+observed values pinned, and keep the joint density finite.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference import GibbsSampler, heuristic_initialize
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.observation import EventSampling, TaskSampling
+from repro.simulate import simulate_network
+
+
+@given(
+    sim_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    obs_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    fraction=st.floats(min_value=0.05, max_value=0.9),
+    rate_scale=st.floats(min_value=0.2, max_value=5.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_sweeps_preserve_feasibility_tandem(sim_seed, obs_seed, fraction, rate_scale):
+    net = build_tandem_network(3.0, [5.0, 7.0])
+    sim = simulate_network(net, 40, random_state=sim_seed)
+    trace = TaskSampling(fraction=fraction).observe(sim.events, random_state=obs_seed)
+    rates = sim.true_rates() * rate_scale  # deliberately wrong rates
+    state = heuristic_initialize(trace, rates)
+    sampler = GibbsSampler(trace, state, rates, random_state=obs_seed)
+    obs = np.flatnonzero(trace.arrival_observed)
+    pinned = state.arrival[obs].copy()
+    sampler.run(3)
+    state.validate()
+    np.testing.assert_array_equal(state.arrival[obs], pinned)
+    assert np.isfinite(state.log_joint(rates))
+
+
+@given(
+    sim_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    obs_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_sweeps_preserve_feasibility_event_sampling(sim_seed, obs_seed):
+    """The scattered-observation regime (partially observed tasks)."""
+    net = build_three_tier_network(8.0, (2, 1, 2))
+    sim = simulate_network(net, 30, random_state=sim_seed)
+    trace = EventSampling(fraction=0.3, observe_final_departures=True).observe(
+        sim.events, random_state=obs_seed
+    )
+    rates = sim.true_rates()
+    state = heuristic_initialize(trace, rates)
+    sampler = GibbsSampler(trace, state, rates, random_state=obs_seed)
+    sampler.run(3)
+    state.validate()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_path_moves_preserve_feasibility(seed):
+    from repro.inference import PathResampler, tier_candidates_from_fsm
+
+    net = build_three_tier_network(5.0, (1, 3, 1))
+    sim = simulate_network(net, 40, random_state=seed)
+    trace = TaskSampling(fraction=0.25).observe(sim.events, random_state=seed)
+    rates = sim.true_rates()
+    state = heuristic_initialize(trace, rates)
+    ev = state
+    tier = {net.queue_index(f"app-{j}") for j in range(3)}
+    unknown = np.array([
+        e for e in range(ev.n_events)
+        if int(ev.queue[e]) in tier and not trace.arrival_observed[e]
+    ])
+    if unknown.size == 0:
+        return
+    resampler = PathResampler(
+        state, tier_candidates_from_fsm(state, net.fsm, unknown), rates,
+        random_state=seed,
+    )
+    gibbs = GibbsSampler(trace, state, rates, random_state=seed + 1)
+    for _ in range(2):
+        gibbs.sweep()
+        resampler.sweep()
+        state.validate()

@@ -1,0 +1,87 @@
+"""Statistical correctness of the Gibbs chain.
+
+Two complementary checks:
+
+1. **Stationarity of the prior**: starting from a draw of the *full* prior
+   (a fresh simulation) with nothing observed except what TaskSampling
+   pins, sweeping the chain must preserve distributional summaries — a
+   Gibbs kernel with the correct conditionals leaves its target invariant.
+
+2. **Posterior coverage**: across many data sets, posterior means at true
+   parameters must straddle ground truth without systematic bias.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inference import GibbsSampler
+from repro.network import build_tandem_network
+from repro.observation import TaskSampling
+from repro.rng import spawn
+from repro.simulate import simulate_network
+
+
+class TestPriorInvariance:
+    def test_sweeps_preserve_service_law(self):
+        """Start at an exact posterior draw (the ground truth itself) and
+        check the chain does not drift away in distribution."""
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        before_means = []
+        after_means = []
+        for seed in range(12):
+            sim = simulate_network(net, 80, random_state=1000 + seed)
+            trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=seed)
+            # Ground truth IS a draw from p(E | O): use it as the state.
+            state = sim.events.copy()
+            sampler = GibbsSampler(
+                trace, state, sim.true_rates(), random_state=seed
+            )
+            before_means.append(state.mean_service_by_queue()[1:])
+            sampler.run(15)
+            state.validate()
+            after_means.append(state.mean_service_by_queue()[1:])
+        before = np.array(before_means).mean(axis=0)
+        after = np.array(after_means).mean(axis=0)
+        # Invariance: ensemble averages unchanged up to Monte Carlo noise.
+        np.testing.assert_allclose(after, before, rtol=0.2)
+
+    def test_log_joint_stays_in_typical_set(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        sim = simulate_network(net, 150, random_state=5)
+        trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=5)
+        state = sim.events.copy()
+        rates = sim.true_rates()
+        sampler = GibbsSampler(trace, state, rates, random_state=6)
+        reference = sim.events.log_joint(rates)
+        log_joints = []
+        for _ in range(30):
+            sampler.sweep()
+            log_joints.append(state.log_joint(rates))
+        # The chain's log-density must stay in the same range as the true
+        # draw, not collapse to a mode or diverge.
+        assert np.isfinite(log_joints).all()
+        spread = abs(reference) * 0.15 + 50.0
+        assert abs(np.mean(log_joints) - reference) < spread
+
+
+class TestPosteriorCoverage:
+    def test_no_systematic_bias_across_datasets(self):
+        """Average posterior-mean error over many datasets ~ 0."""
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        streams = spawn(99, 10)
+        biases = []
+        for i, stream in enumerate(streams):
+            sim = simulate_network(net, 100, random_state=stream)
+            trace = TaskSampling(fraction=0.15).observe(sim.events, random_state=i)
+            from repro.inference import heuristic_initialize
+
+            rates = sim.true_rates()
+            state = heuristic_initialize(trace, rates)
+            sampler = GibbsSampler(trace, state, rates, random_state=i)
+            samples = sampler.collect(n_samples=10, burn_in=10)
+            est = samples.posterior_mean_service()[1:]
+            true = sim.events.mean_service_by_queue()[1:]
+            biases.append(est - true)
+        mean_bias = np.array(biases).mean(axis=0)
+        # Mean service ~ 1/6 and 1/8; bias must be an order below.
+        assert np.all(np.abs(mean_bias) < 0.04)

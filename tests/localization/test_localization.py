@@ -1,0 +1,89 @@
+"""Tests for bottleneck localization and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inference import estimate_posterior
+from repro.localization import (
+    diagnose,
+    rank_bottlenecks,
+    render_report,
+    slow_request_profile,
+)
+from repro.observation import TaskSampling
+
+
+@pytest.fixture(scope="module")
+def three_tier_summary(three_tier_sim):
+    trace = TaskSampling(fraction=0.2).observe(three_tier_sim.events, random_state=0)
+    return estimate_posterior(
+        trace, rates=three_tier_sim.true_rates(),
+        n_samples=15, burn_in=10, random_state=1,
+    )
+
+
+class TestDiagnose:
+    def test_overloaded_queue_flagged(self, three_tier_sim, three_tier_summary):
+        names = three_tier_sim.network.queue_names
+        diagnoses = diagnose(three_tier_summary, names)
+        by_name = {d.name: d for d in diagnoses}
+        # The single-server tier (rho = 2) must be waiting-dominated.
+        assert by_name["web"].verdict == "overloaded"
+        assert by_name["web"].waiting > by_name["web"].service
+
+    def test_light_queue_not_overloaded(self, three_tier_sim, three_tier_summary):
+        names = three_tier_sim.network.queue_names
+        by_name = {d.name: d for d in diagnose(three_tier_summary, names)}
+        for j in range(4):
+            assert by_name[f"db-{j}"].verdict in ("intrinsic", "mixed")
+
+    def test_name_length_validation(self, three_tier_summary):
+        with pytest.raises(ConfigurationError):
+            diagnose(three_tier_summary, ("too", "few"))
+
+    def test_default_names(self, three_tier_summary):
+        diagnoses = diagnose(three_tier_summary)
+        assert diagnoses[0].name == "queue-1"
+
+
+class TestRanking:
+    def test_bottleneck_ranked_first(self, three_tier_sim, three_tier_summary):
+        names = three_tier_sim.network.queue_names
+        ranked = rank_bottlenecks(three_tier_summary, names)
+        assert ranked[0].name == "web"
+        sojourns = [d.sojourn for d in ranked if np.isfinite(d.sojourn)]
+        assert sojourns == sorted(sojourns, reverse=True)
+
+
+class TestReport:
+    def test_report_contains_all_queues(self, three_tier_sim, three_tier_summary):
+        names = three_tier_sim.network.queue_names
+        ranked = rank_bottlenecks(three_tier_summary, names)
+        text = render_report(ranked)
+        for name in names[1:]:
+            assert name in text
+        assert "verdict" in text
+
+    def test_top_limits_rows(self, three_tier_summary):
+        ranked = rank_bottlenecks(three_tier_summary)
+        text = render_report(ranked, top=2)
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+
+class TestSlowRequests:
+    def test_profile_structure(self, three_tier_sim):
+        profile = slow_request_profile(three_tier_sim.events, percentile=90.0)
+        n_queues = three_tier_sim.events.n_queues
+        assert profile["slow_waiting"].shape == (n_queues,)
+        assert profile["slow_tasks"].size >= 1
+
+    def test_slow_tasks_wait_longer(self, three_tier_sim):
+        """Slow requests must show more waiting at the bottleneck than the
+        average request — the paper's Section 1 diagnosis scenario."""
+        profile = slow_request_profile(three_tier_sim.events, percentile=80.0)
+        assert profile["slow_waiting"][1] > profile["all_waiting"][1]
+
+    def test_percentile_validation(self, three_tier_sim):
+        with pytest.raises(ConfigurationError):
+            slow_request_profile(three_tier_sim.events, percentile=0.0)

@@ -1,0 +1,104 @@
+"""Tests for network builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import (
+    build_load_balanced_network,
+    build_tandem_network,
+    build_three_tier_network,
+    paper_synthetic_structures,
+)
+
+
+class TestThreeTier:
+    def test_paper_configuration(self):
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        # 1 + 1 + 2 + 4 = 8 queues total.
+        assert net.n_queues == 8
+        assert net.arrival_rate == 10.0
+        rho = net.utilizations()
+        # Tier loads: 2.0 (1 server), 1.0 each (2 servers), 0.5 each (4 servers).
+        assert rho[1] == pytest.approx(2.0)
+        assert rho[2] == pytest.approx(1.0)
+        assert rho[4] == pytest.approx(0.5)
+
+    def test_tier_naming(self):
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        assert "web" in net.queue_names
+        assert "app-0" in net.queue_names and "app-1" in net.queue_names
+        assert "db-3" in net.queue_names
+
+    def test_paths_visit_one_server_per_tier(self, rng):
+        net = build_three_tier_network(10.0, (2, 2, 2))
+        for _ in range(20):
+            path = net.sample_path(rng)
+            assert len(path) == 3
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ConfigurationError):
+            build_three_tier_network(10.0, (1, 0, 2))
+
+    def test_rejects_name_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            build_three_tier_network(10.0, (1, 2), tier_names=("a", "b", "c"))
+
+
+class TestPaperStructures:
+    def test_five_distinct_structures(self):
+        structures = paper_synthetic_structures()
+        assert len(structures) == 5
+        assert len({s for _, s in structures}) == 5
+        for _, servers in structures:
+            assert sorted(servers) == [1, 2, 4]
+
+    def test_all_structures_buildable(self):
+        for _, servers in paper_synthetic_structures():
+            net = build_three_tier_network(10.0, servers)
+            assert net.n_queues == 8
+
+
+class TestTandem:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            build_tandem_network(1.0, [])
+
+    def test_custom_names(self):
+        net = build_tandem_network(1.0, [2.0, 3.0], names=["cpu", "disk"])
+        assert net.queue_index("disk") == 2
+
+
+class TestLoadBalanced:
+    def test_webapp_like_topology(self, rng):
+        net = build_load_balanced_network(
+            arrival_rate=3.0,
+            server_rates=[4.0] * 3,
+            pre=[("net", 20.0)],
+            post=[("db", 40.0), ("net", 20.0)],
+        )
+        # __arrivals__, net, 3 servers, db.
+        assert net.n_queues == 6
+        path = net.sample_path(rng)
+        assert net.queue_names[path.queues[0]] == "net"
+        assert net.queue_names[path.queues[-1]] == "net"
+        assert net.queue_names[path.queues[2]] == "db"
+
+    def test_shared_station_rate_conflict(self):
+        with pytest.raises(ConfigurationError):
+            build_load_balanced_network(
+                arrival_rate=1.0,
+                server_rates=[2.0],
+                pre=[("net", 20.0)],
+                post=[("net", 10.0)],  # same name, different rate
+            )
+
+    def test_expected_visits_count_revisits(self):
+        net = build_load_balanced_network(
+            arrival_rate=3.0,
+            server_rates=[4.0, 4.0],
+            pre=[("net", 20.0)],
+            post=[("net", 20.0)],
+        )
+        visits = net.fsm.expected_visits()
+        assert visits[net.queue_index("net")] == pytest.approx(2.0)

@@ -1,0 +1,123 @@
+"""Tests for QueueingNetwork and QueueSpec."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, LogNormal
+from repro.errors import ConfigurationError
+from repro.fsm import chain_fsm
+from repro.network import QueueingNetwork, QueueSpec, build_tandem_network
+from repro.network.topology import INITIAL_QUEUE_NAME
+
+
+class TestQueueSpec:
+    def test_markovian_flag(self):
+        spec = QueueSpec(name="db", service=Exponential(rate=3.0))
+        assert spec.is_markovian
+        assert spec.rate == 3.0
+        assert spec.mean_service == pytest.approx(1.0 / 3.0)
+
+    def test_non_markovian_rate_raises(self):
+        spec = QueueSpec(name="db", service=LogNormal(mu_log=0.0, sigma_log=1.0))
+        assert not spec.is_markovian
+        with pytest.raises(ConfigurationError):
+            _ = spec.rate
+
+    def test_with_service(self):
+        spec = QueueSpec(name="db", service=Exponential(rate=3.0))
+        new = spec.with_service(Exponential(rate=5.0))
+        assert new.rate == 5.0
+        assert spec.rate == 3.0  # original untouched
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            QueueSpec(name="", service=Exponential(rate=1.0))
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ConfigurationError):
+            QueueSpec(name="x", service=0.5)
+
+
+class TestNetworkValidation:
+    def test_requires_reserved_initial_name(self):
+        fsm = chain_fsm([1], n_queues=2)
+        with pytest.raises(ConfigurationError):
+            QueueingNetwork(
+                queue_names=("q0", "q1"),
+                services={"q0": Exponential(1.0), "q1": Exponential(1.0)},
+                fsm=fsm,
+            )
+
+    def test_requires_unique_names(self):
+        fsm = chain_fsm([1], n_queues=3)
+        with pytest.raises(ConfigurationError):
+            QueueingNetwork(
+                queue_names=(INITIAL_QUEUE_NAME, "a", "a"),
+                services={INITIAL_QUEUE_NAME: Exponential(1.0), "a": Exponential(1.0)},
+                fsm=fsm,
+            )
+
+    def test_requires_matching_fsm_width(self):
+        fsm = chain_fsm([1], n_queues=3)
+        with pytest.raises(ConfigurationError):
+            QueueingNetwork(
+                queue_names=(INITIAL_QUEUE_NAME, "a"),
+                services={INITIAL_QUEUE_NAME: Exponential(1.0), "a": Exponential(1.0)},
+                fsm=fsm,
+            )
+
+    def test_reports_missing_services(self):
+        fsm = chain_fsm([1], n_queues=2)
+        with pytest.raises(ConfigurationError, match="missing"):
+            QueueingNetwork(
+                queue_names=(INITIAL_QUEUE_NAME, "a"),
+                services={INITIAL_QUEUE_NAME: Exponential(1.0)},
+                fsm=fsm,
+            )
+
+
+class TestNetworkQueries:
+    def test_tandem_basics(self):
+        net = build_tandem_network(arrival_rate=4.0, service_rates=[6.0, 8.0])
+        assert net.n_queues == 3
+        assert net.arrival_rate == 4.0
+        assert net.queue_index("q1") == 1
+        assert net.service_of(2).mean == pytest.approx(0.125)
+        assert net.service_of("q2").mean == pytest.approx(0.125)
+        assert net.is_markovian()
+
+    def test_unknown_queue_name(self):
+        net = build_tandem_network(4.0, [6.0])
+        with pytest.raises(ConfigurationError):
+            net.queue_index("nope")
+
+    def test_rates_vector(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        np.testing.assert_allclose(net.rates_vector(), [4.0, 6.0, 8.0])
+
+    def test_with_rates_round_trip(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        new = net.with_rates([5.0, 7.0, 9.0])
+        np.testing.assert_allclose(new.rates_vector(), [5.0, 7.0, 9.0])
+        np.testing.assert_allclose(net.rates_vector(), [4.0, 6.0, 8.0])
+
+    def test_with_rates_shape_check(self):
+        net = build_tandem_network(4.0, [6.0])
+        with pytest.raises(ConfigurationError):
+            net.with_rates([1.0, 2.0, 3.0])
+
+    def test_utilizations(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        rho = net.utilizations()
+        assert np.isnan(rho[0])
+        assert rho[1] == pytest.approx(4.0 / 6.0)
+        assert rho[2] == pytest.approx(0.5)
+
+    def test_per_queue_arrival_rates(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        np.testing.assert_allclose(net.per_queue_arrival_rates(), [4.0, 4.0, 4.0])
+
+    def test_describe_mentions_all_queues(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        text = net.describe()
+        assert "q1" in text and "q2" in text and INITIAL_QUEUE_NAME in text

@@ -1,0 +1,99 @@
+"""Tests for ObservedTrace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservationError
+from repro.observation import ObservedTrace, TaskSampling
+from repro.observation.counters import (
+    counter_stream,
+    order_recoverable_from_counters,
+    unobserved_gap_counts,
+)
+
+
+class TestCensoring:
+    def test_latent_times_are_nan(self, tandem_sim):
+        trace = TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=0)
+        skeleton = trace.skeleton
+        lat = trace.latent_arrival_events
+        assert np.all(np.isnan(skeleton.arrival[lat]))
+        assert np.all(np.isnan(skeleton.departure[skeleton.pi[lat]]))
+        lat_dep = trace.latent_departure_events
+        assert np.all(np.isnan(skeleton.departure[lat_dep]))
+
+    def test_observed_times_preserved(self, tandem_sim):
+        trace = TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=0)
+        obs = np.flatnonzero(trace.arrival_observed)
+        np.testing.assert_allclose(
+            trace.skeleton.arrival[obs], tandem_sim.events.arrival[obs]
+        )
+
+    def test_ground_truth_not_mutated(self, tandem_sim):
+        before = tandem_sim.events.arrival.copy()
+        TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=0)
+        np.testing.assert_array_equal(before, tandem_sim.events.arrival)
+
+    def test_initial_arrivals_always_observed(self, tandem_sim):
+        trace = TaskSampling(fraction=0.1).observe(tandem_sim.events, random_state=0)
+        init = trace.skeleton.seq == 0
+        assert trace.arrival_observed[init].all()
+
+    def test_latent_inventory_consistency(self, tandem_trace):
+        skeleton = tandem_trace.skeleton
+        n_non_init = int(np.count_nonzero(skeleton.seq != 0))
+        n_last = skeleton.n_tasks
+        expected = (
+            (n_non_init - tandem_trace.n_observed_arrivals)
+            + (n_last - int(tandem_trace.departure_observed.sum()))
+        )
+        assert tandem_trace.n_latent == expected
+
+    def test_departure_is_fixed(self, tandem_sim):
+        trace = TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=0)
+        ev = trace.skeleton
+        for task_id in ev.task_ids:
+            idx = ev.events_of_task(task_id)
+            observed = trace.arrival_observed[idx[-1]]
+            # Inner events: departure fixed iff successor arrival observed.
+            assert trace.departure_is_fixed(int(idx[1])) == bool(
+                trace.arrival_observed[idx[2]] if idx.size > 2 else
+                trace.departure_observed[idx[1]]
+            ) or idx.size <= 2
+
+    def test_rejects_inner_departure_observation(self, tandem_sim):
+        ev = tandem_sim.events
+        arrival_observed = np.zeros(ev.n_events, dtype=bool)
+        departure_observed = np.zeros(ev.n_events, dtype=bool)
+        inner = int(ev.events_of_task(0)[1])  # has a successor
+        departure_observed[inner] = True
+        with pytest.raises(ObservationError):
+            ObservedTrace.from_ground_truth(ev, arrival_observed, departure_observed)
+
+
+class TestCounters:
+    def test_counter_stream_positions(self, tandem_trace):
+        stream = counter_stream(tandem_trace)
+        skeleton = tandem_trace.skeleton
+        for q, pairs in stream.items():
+            order = skeleton.queue_order(q)
+            for position, event in pairs:
+                assert order[position] == event
+                assert tandem_trace.arrival_observed[event]
+
+    def test_gap_counts_sum(self, tandem_trace):
+        gaps = unobserved_gap_counts(tandem_trace)
+        skeleton = tandem_trace.skeleton
+        for q, gap_list in gaps.items():
+            order = skeleton.queue_order(q)
+            n_observed = int(tandem_trace.arrival_observed[order].sum())
+            assert len(gap_list) == n_observed + 1
+            assert sum(gap_list) == order.size - n_observed
+
+    def test_order_recoverable(self, tandem_sim, tandem_trace):
+        assert order_recoverable_from_counters(tandem_trace, tandem_sim.events)
+
+    def test_summary_mentions_counts(self, tandem_trace):
+        text = tandem_trace.summary()
+        assert "arrivals observed" in text
+        assert str(tandem_trace.skeleton.n_tasks) in text

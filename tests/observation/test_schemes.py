@@ -1,0 +1,90 @@
+"""Tests for observation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservationError
+from repro.observation import EventSampling, TaskSampling, TimeWindowSampling
+
+
+class TestTaskSampling:
+    def test_observes_whole_tasks(self, tandem_sim):
+        trace = TaskSampling(fraction=0.25).observe(tandem_sim.events, random_state=0)
+        ev = tandem_sim.events
+        for task_id in ev.task_ids:
+            idx = ev.events_of_task(task_id)
+            non_init = idx[ev.seq[idx] != 0]
+            flags = trace.arrival_observed[non_init]
+            assert flags.all() or not flags.any()
+
+    def test_fraction_respected(self, tandem_sim):
+        trace = TaskSampling(fraction=0.25).observe(tandem_sim.events, random_state=0)
+        observed_tasks = round(0.25 * tandem_sim.n_tasks)
+        # Each observed task contributes len(path) = 2 observed arrivals.
+        assert trace.n_observed_arrivals == observed_tasks * 2
+
+    def test_final_departures_observed(self, tandem_sim):
+        trace = TaskSampling(fraction=0.25).observe(tandem_sim.events, random_state=0)
+        ev = tandem_sim.events
+        n_last_observed = sum(
+            trace.departure_observed[ev.events_of_task(t)[-1]] for t in ev.task_ids
+        )
+        assert n_last_observed == round(0.25 * tandem_sim.n_tasks)
+
+    def test_min_tasks_floor(self, tandem_sim):
+        trace = TaskSampling(fraction=0.0001, min_tasks=2).observe(
+            tandem_sim.events, random_state=0
+        )
+        assert trace.n_observed_arrivals == 2 * 2
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ObservationError):
+            TaskSampling(fraction=0.0)
+        with pytest.raises(ObservationError):
+            TaskSampling(fraction=1.5)
+
+    def test_different_seeds_pick_different_tasks(self, tandem_sim):
+        a = TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=0)
+        b = TaskSampling(fraction=0.2).observe(tandem_sim.events, random_state=1)
+        assert not np.array_equal(a.arrival_observed, b.arrival_observed)
+
+    def test_full_observation(self, tandem_sim):
+        trace = TaskSampling(fraction=1.0).observe(tandem_sim.events, random_state=0)
+        assert trace.n_latent == 0
+        assert trace.observed_fraction() == 1.0
+
+
+class TestEventSampling:
+    def test_roughly_matches_fraction(self, tandem_sim):
+        trace = EventSampling(fraction=0.3).observe(tandem_sim.events, random_state=0)
+        assert trace.observed_fraction() == pytest.approx(0.3, abs=0.1)
+
+    def test_never_empty(self, tandem_sim):
+        trace = EventSampling(fraction=1e-9).observe(tandem_sim.events, random_state=0)
+        assert trace.n_observed_arrivals >= 1
+
+    def test_final_departure_option(self, tandem_sim):
+        trace = EventSampling(fraction=0.5, observe_final_departures=True).observe(
+            tandem_sim.events, random_state=0
+        )
+        assert trace.departure_observed.any()
+
+
+class TestTimeWindowSampling:
+    def test_only_window_arrivals(self, tandem_sim):
+        ev = tandem_sim.events
+        t_mid = float(np.nanmedian(ev.arrival[ev.seq != 0]))
+        scheme = TimeWindowSampling(start=0.0, end=t_mid)
+        trace = scheme.observe(ev)
+        observed = np.flatnonzero(trace.arrival_observed & (ev.seq != 0))
+        assert np.all(ev.arrival[observed] <= t_mid)
+
+    def test_empty_window_rejected(self, tandem_sim):
+        horizon = float(tandem_sim.events.departure.max())
+        scheme = TimeWindowSampling(start=horizon + 10, end=horizon + 20)
+        with pytest.raises(ObservationError):
+            scheme.observe(tandem_sim.events)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ObservationError):
+            TimeWindowSampling(start=2.0, end=1.0)

@@ -1,0 +1,71 @@
+"""Tests for Jackson-network analysis and Little's law checks."""
+
+import numpy as np
+import pytest
+
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.queueing_theory import analyze_jackson, littles_law_check, mm1_metrics
+from repro.simulate import simulate_network
+
+
+class TestJackson:
+    def test_tandem_matches_mm1_per_queue(self):
+        net = build_tandem_network(2.0, [5.0, 4.0])
+        analysis = analyze_jackson(net)
+        assert analysis.stable
+        np.testing.assert_allclose(analysis.arrival_rates, [2.0, 2.0, 2.0])
+        for q, mu in ((1, 5.0), (2, 4.0)):
+            expected = mm1_metrics(2.0, mu)
+            assert analysis.per_queue[q].mean_waiting == pytest.approx(
+                expected.mean_waiting
+            )
+        expected_response = mm1_metrics(2.0, 5.0).mean_response + mm1_metrics(
+            2.0, 4.0
+        ).mean_response
+        assert analysis.mean_response == pytest.approx(expected_response)
+
+    def test_three_tier_split_rates(self):
+        net = build_three_tier_network(8.0, (2, 2, 4), service_rate=5.0)
+        analysis = analyze_jackson(net)
+        assert analysis.arrival_rates[1] == pytest.approx(4.0)  # tier of 2
+        assert analysis.arrival_rates[5] == pytest.approx(2.0)  # tier of 4
+
+    def test_overloaded_network_not_stable(self):
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        analysis = analyze_jackson(net)
+        assert not analysis.stable
+        assert analysis.mean_response == float("inf")
+        assert analysis.per_queue[1] is None  # the rho = 2 queue
+        assert analysis.per_queue[4] is not None  # a rho = 0.5 queue
+
+    def test_bottleneck_is_highest_utilization(self):
+        net = build_three_tier_network(8.0, (1, 2, 4), service_rate=10.0)
+        analysis = analyze_jackson(net)
+        assert analysis.bottleneck() == 1
+
+    def test_simulation_agreement_stable_network(self):
+        net = build_three_tier_network(4.0, (2, 2, 2), service_rate=5.0)
+        sim = simulate_network(net, 20000, random_state=9)
+        analysis = analyze_jackson(net)
+        measured = sim.events.mean_waiting_by_queue()
+        for q in range(1, net.n_queues):
+            assert measured[q] == pytest.approx(
+                analysis.per_queue[q].mean_waiting, rel=0.2, abs=0.01
+            )
+
+
+class TestLittlesLaw:
+    def test_holds_on_long_simulation(self):
+        net = build_tandem_network(3.0, [5.0])
+        sim = simulate_network(net, 20000, random_state=31)
+        report = littles_law_check(sim.events, queue=1)
+        assert report.relative_gap < 0.02
+
+    def test_holds_per_queue_in_network(self, three_tier_sim):
+        for q in range(1, three_tier_sim.events.n_queues):
+            report = littles_law_check(three_tier_sim.events, queue=q)
+            assert report.relative_gap < 0.5  # short trace, loose bound
+
+    def test_validation(self, tandem_sim):
+        with pytest.raises(ValueError):
+            littles_law_check(tandem_sim.events, queue=1, trim=0.7)

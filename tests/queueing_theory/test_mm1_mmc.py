@@ -1,0 +1,96 @@
+"""Tests for M/M/1 and M/M/c steady-state formulas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotStableError
+from repro.queueing_theory import erlang_c, mm1_metrics, mmc_metrics, pooling_gain
+
+
+class TestMM1:
+    def test_textbook_case(self):
+        m = mm1_metrics(arrival_rate=2.0, service_rate=5.0)
+        assert m.utilization == pytest.approx(0.4)
+        assert m.mean_response == pytest.approx(1.0 / 3.0)
+        assert m.mean_waiting == pytest.approx(0.4 / 3.0)
+        assert m.mean_number_in_system == pytest.approx(0.4 / 0.6)
+        assert m.mean_queue_length == pytest.approx(0.16 / 0.6)
+
+    def test_littles_law_consistency(self):
+        m = mm1_metrics(3.0, 7.0)
+        assert m.mean_number_in_system == pytest.approx(3.0 * m.mean_response)
+        assert m.mean_queue_length == pytest.approx(3.0 * m.mean_waiting)
+
+    def test_overload_raises(self):
+        with pytest.raises(NotStableError):
+            mm1_metrics(10.0, 5.0)
+        with pytest.raises(NotStableError):
+            mm1_metrics(5.0, 5.0)
+
+    def test_response_quantile(self):
+        m = mm1_metrics(2.0, 5.0)
+        # Sojourn is Exp(mu - lambda): median = ln 2 / 3.
+        assert m.response_quantile(0.5) == pytest.approx(np.log(2.0) / 3.0)
+
+    def test_prob_n_geometric(self):
+        m = mm1_metrics(2.0, 5.0)
+        total = sum(m.prob_n_in_system(n) for n in range(200))
+        assert total == pytest.approx(1.0)
+        assert m.prob_n_in_system(0) == pytest.approx(0.6)
+
+    def test_simulation_agreement(self):
+        """The simulator's mean waiting must match the analytic M/M/1."""
+        from repro.network import build_tandem_network
+        from repro.simulate import simulate_network
+
+        net = build_tandem_network(3.0, [5.0])
+        sim = simulate_network(net, 20000, random_state=123)
+        m = mm1_metrics(3.0, 5.0)
+        measured = sim.events.mean_waiting_by_queue()[1]
+        assert measured == pytest.approx(m.mean_waiting, rel=0.1)
+
+
+class TestErlangC:
+    def test_single_server_reduces_to_mm1(self):
+        # For c=1, P(wait) = rho.
+        assert erlang_c(2.0, 5.0, 1) == pytest.approx(0.4)
+
+    def test_known_value(self):
+        # a = 2 Erlang, c = 3: Erlang-B recurrence gives B = 4/19 and
+        # C = B / (1 - rho (1 - B)) = 4/9.
+        c = erlang_c(2.0, 1.0, 3)
+        assert c == pytest.approx(4.0 / 9.0, abs=1e-9)
+
+    def test_more_servers_less_waiting(self):
+        waits = [mmc_metrics(4.0, 1.0, c).mean_waiting for c in (5, 6, 8)]
+        assert waits[0] > waits[1] > waits[2]
+
+    def test_overload_raises(self):
+        with pytest.raises(NotStableError):
+            erlang_c(10.0, 1.0, 9)
+
+    def test_mmc_metrics_consistency(self):
+        m = mmc_metrics(4.0, 1.0, 6)
+        assert m.mean_response == pytest.approx(m.mean_waiting + 1.0)
+        assert m.mean_queue_length == pytest.approx(4.0 * m.mean_waiting)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            erlang_c(-1.0, 1.0, 2)
+
+
+class TestPoolingGain:
+    def test_pooling_always_helps(self):
+        gain = pooling_gain(arrival_rate=4.0, service_rate=1.5, c=4)
+        assert gain > 1.0
+
+    def test_gain_grows_with_servers(self):
+        g2 = pooling_gain(2.0, 1.5, 2)
+        g8 = pooling_gain(8.0, 1.5, 8)
+        assert g8 > g2
+
+    def test_unstable_configuration(self):
+        with pytest.raises(NotStableError):
+            pooling_gain(10.0, 1.0, 5)

@@ -1,0 +1,90 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulate import (
+    DeterministicArrivals,
+    LinearRampArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+
+
+class TestPoisson:
+    def test_strictly_increasing(self, rng):
+        times = PoissonArrivals(rate=5.0).sample(500, rng)
+        assert np.all(np.diff(times) > 0.0)
+        assert times[0] > 0.0
+
+    def test_rate_recovered(self, rng):
+        times = PoissonArrivals(rate=8.0).sample(20000, rng)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert 1.0 / gaps.mean() == pytest.approx(8.0, rel=0.03)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=0.0)
+
+    def test_rejects_zero_tasks(self, rng):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=1.0).sample(0, rng)
+
+
+class TestLinearRamp:
+    def test_within_horizon_and_sorted(self, rng):
+        ramp = LinearRampArrivals(duration=100.0, rate0=0.0, slope=1.0)
+        times = ramp.sample(1000, rng)
+        assert np.all(np.diff(times) > 0.0)
+        assert times[0] >= 0.0
+        assert times[-1] <= 100.0
+
+    def test_density_increases_linearly(self, rng):
+        ramp = LinearRampArrivals(duration=10.0, rate0=0.0, slope=1.0)
+        times = ramp.sample(40000, rng)
+        # With rate ∝ t, P(T <= t) = (t / 10)^2: median at 10/sqrt(2).
+        assert np.median(times) == pytest.approx(10.0 / np.sqrt(2.0), rel=0.02)
+        first_half = np.count_nonzero(times < 5.0)
+        assert first_half / times.size == pytest.approx(0.25, abs=0.01)
+
+    def test_constant_rate_special_case(self, rng):
+        ramp = LinearRampArrivals(duration=10.0, rate0=2.0, slope=0.0)
+        times = ramp.sample(20000, rng)
+        assert np.mean(times) == pytest.approx(5.0, rel=0.03)
+
+    def test_rejects_zero_rates(self):
+        with pytest.raises(ConfigurationError):
+            LinearRampArrivals(duration=10.0, rate0=0.0, slope=0.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            LinearRampArrivals(duration=-1.0)
+
+
+class TestDeterministic:
+    def test_even_spacing(self, rng):
+        times = DeterministicArrivals(rate=4.0).sample(8, rng)
+        np.testing.assert_allclose(np.diff(times), 0.25)
+        assert times[0] == pytest.approx(0.25)
+
+
+class TestMMPP:
+    def test_sorted_and_positive(self, rng):
+        mmpp = MMPPArrivals(rates=(1.0, 20.0), switch_rates=(0.5, 0.5))
+        times = mmpp.sample(500, rng)
+        assert np.all(np.diff(times) > 0.0)
+        assert times[0] > 0.0
+
+    def test_burstier_than_poisson(self, rng):
+        mmpp = MMPPArrivals(rates=(0.5, 50.0), switch_rates=(0.2, 0.2))
+        times = mmpp.sample(5000, rng)
+        gaps = np.diff(times)
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv > 1.5  # Poisson would give ~1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(rates=(1.0,), switch_rates=(1.0,))
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(rates=(1.0, -2.0), switch_rates=(1.0, 1.0))

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic
+from repro.errors import SimulationError
+from repro.fsm import TaskPath
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.network.topology import INITIAL_QUEUE_NAME, QueueingNetwork
+from repro.fsm import chain_fsm
+from repro.simulate import simulate_network, simulate_tasks
+
+
+class TestSimulateTasks:
+    def test_deterministic_tandem_by_hand(self):
+        """Check the FIFO recursion against hand-computed times."""
+        net = build_tandem_network(1.0, [1.0, 1.0])
+        # Replace services with constants 0.5 and 0.25 for exactness.
+        services = dict(net.services)
+        services["q1"] = Deterministic(value=0.5)
+        services["q2"] = Deterministic(value=0.25)
+        net = QueueingNetwork(
+            queue_names=net.queue_names, services=services, fsm=net.fsm
+        )
+        entries = np.array([1.0, 1.1, 3.0])
+        paths = [TaskPath.from_queues([1, 2])] * 3
+        sim = simulate_tasks(net, entries, paths, random_state=0)
+        ev = sim.events
+        # Task 0: q1 1.0->1.5, q2 1.5->1.75
+        # Task 1: q1 arrives 1.1, waits to 1.5, departs 2.0; q2 2.0->2.25
+        # Task 2: q1 3.0->3.5; q2 3.5->3.75
+        t0, t1, t2 = (ev.events_of_task(k) for k in range(3))
+        assert ev.departure[t0[1]] == pytest.approx(1.5)
+        assert ev.departure[t0[2]] == pytest.approx(1.75)
+        assert ev.departure[t1[1]] == pytest.approx(2.0)
+        assert ev.departure[t1[2]] == pytest.approx(2.25)
+        assert ev.departure[t2[1]] == pytest.approx(3.5)
+        waits = ev.waiting_times()
+        assert waits[t1[1]] == pytest.approx(0.4)
+        assert waits[t2[1]] == pytest.approx(0.0)
+
+    def test_rejects_nonincreasing_entries(self):
+        net = build_tandem_network(1.0, [1.0])
+        paths = [TaskPath.from_queues([1])] * 2
+        with pytest.raises(SimulationError):
+            simulate_tasks(net, np.array([1.0, 1.0]), paths)
+
+    def test_rejects_nonpositive_entries(self):
+        net = build_tandem_network(1.0, [1.0])
+        with pytest.raises(SimulationError):
+            simulate_tasks(net, np.array([0.0]), [TaskPath.from_queues([1])])
+
+    def test_rejects_path_count_mismatch(self):
+        net = build_tandem_network(1.0, [1.0])
+        with pytest.raises(SimulationError):
+            simulate_tasks(net, np.array([1.0, 2.0]), [TaskPath.from_queues([1])])
+
+    def test_rejects_empty_path(self):
+        net = build_tandem_network(1.0, [1.0])
+        with pytest.raises(SimulationError):
+            simulate_tasks(net, np.array([1.0]), [TaskPath(states=(), queues=())])
+
+
+class TestSimulateNetwork:
+    def test_result_structure(self, tandem_sim):
+        assert tandem_sim.n_tasks == 120
+        assert len(tandem_sim.paths) == 120
+        np.testing.assert_allclose(tandem_sim.true_rates(), [4.0, 6.0, 8.0])
+
+    def test_trace_is_valid(self, three_tier_sim):
+        three_tier_sim.events.validate()
+
+    def test_reproducible(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        a = simulate_network(net, 30, random_state=42)
+        b = simulate_network(net, 30, random_state=42)
+        np.testing.assert_array_equal(a.events.departure, b.events.departure)
+
+    def test_different_seeds_differ(self):
+        net = build_tandem_network(4.0, [6.0, 8.0])
+        a = simulate_network(net, 30, random_state=1)
+        b = simulate_network(net, 30, random_state=2)
+        assert not np.array_equal(a.events.departure, b.events.departure)
+
+    def test_rejects_zero_tasks(self):
+        net = build_tandem_network(4.0, [6.0])
+        with pytest.raises(SimulationError):
+            simulate_network(net, 0)
+
+    def test_service_times_match_distribution(self, rng):
+        """Realized service times at a queue are draws from its service dist."""
+        net = build_tandem_network(2.0, [5.0])
+        sim = simulate_network(net, 3000, random_state=rng)
+        services = sim.events.service_times()
+        members = sim.events.queue_order(1)
+        assert services[members].mean() == pytest.approx(0.2, rel=0.05)
+        # Exponential SCV = 1.
+        scv = services[members].var() / services[members].mean() ** 2
+        assert scv == pytest.approx(1.0, rel=0.15)
+
+    def test_overloaded_queue_builds_backlog(self):
+        net = build_three_tier_network(10.0, (1, 2, 4))
+        sim = simulate_network(net, 400, random_state=3)
+        waits = sim.events.mean_waiting_by_queue()
+        # The single-server tier (rho = 2) must dominate waiting.
+        assert waits[1] > 5.0 * np.nanmax(waits[2:])
+
+    def test_interarrival_rate_matches_lambda(self):
+        net = build_tandem_network(7.0, [100.0])
+        sim = simulate_network(net, 4000, random_state=9)
+        # Queue-0 "services" are the interarrival gaps.
+        services = sim.events.service_times()
+        members = sim.events.queue_order(0)
+        assert 1.0 / services[members].mean() == pytest.approx(7.0, rel=0.05)

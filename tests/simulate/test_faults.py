@@ -1,0 +1,74 @@
+"""Tests for fault-injected simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import build_tandem_network
+from repro.simulate import RateChange, simulate_with_faults
+
+
+class TestRateChange:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RateChange(queue=1, at=-1.0, rate=2.0)
+        with pytest.raises(SimulationError):
+            RateChange(queue=1, at=0.0, rate=0.0)
+
+
+class TestSimulateWithFaults:
+    def test_no_faults_matches_plain_shape(self):
+        net = build_tandem_network(4.0, [8.0])
+        sim = simulate_with_faults(net, 100, faults=[], random_state=0)
+        sim.events.validate()
+        assert sim.events.n_tasks == 100
+
+    def test_rate_change_visible(self):
+        net = build_tandem_network(4.0, [8.0])
+        fault_time = 50.0
+        sim = simulate_with_faults(
+            net, 800, faults=[RateChange(queue=1, at=fault_time, rate=2.0)],
+            random_state=1,
+        )
+        ev = sim.events
+        services = ev.service_times()
+        begins = ev.begin_times()
+        members = ev.queue_order(1)
+        before = services[members][begins[members] < fault_time]
+        after = services[members][begins[members] >= fault_time]
+        assert before.size > 50 and after.size > 50
+        assert after.mean() > 2.5 * before.mean()
+
+    def test_multiple_changes_apply_in_order(self):
+        net = build_tandem_network(2.0, [8.0])
+        sim = simulate_with_faults(
+            net, 600,
+            faults=[
+                RateChange(queue=1, at=100.0, rate=2.0),
+                RateChange(queue=1, at=200.0, rate=16.0),
+            ],
+            random_state=2,
+        )
+        ev = sim.events
+        services = ev.service_times()
+        begins = ev.begin_times()
+        members = ev.queue_order(1)
+        late = services[members][begins[members] > 210.0]
+        mid = services[members][(begins[members] > 110.0) & (begins[members] < 190.0)]
+        assert late.size > 20 and mid.size > 20
+        assert late.mean() < mid.mean() / 3.0
+
+    def test_unknown_queue_rejected(self):
+        net = build_tandem_network(2.0, [8.0])
+        with pytest.raises(SimulationError):
+            simulate_with_faults(
+                net, 10, faults=[RateChange(queue=5, at=0.0, rate=1.0)]
+            )
+
+    def test_trace_always_valid(self):
+        net = build_tandem_network(4.0, [8.0, 6.0])
+        sim = simulate_with_faults(
+            net, 200, faults=[RateChange(queue=2, at=10.0, rate=1.0)],
+            random_state=3,
+        )
+        sim.events.validate()

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_three_tier_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main([
+            "simulate", "--topology", "three-tier", "--tasks", "50",
+            "--seed", "1", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "wrote 200 events" in captured
+
+    def test_tandem(self, tmp_path, capsys):
+        out = tmp_path / "tandem.jsonl"
+        code = main([
+            "simulate", "--topology", "tandem", "--tasks", "30",
+            "--servers", "1", "2", "--out", str(out),
+        ])
+        assert code == 0
+        assert "q1" in capsys.readouterr().out
+
+    def test_webapp(self, tmp_path, capsys):
+        out = tmp_path / "webapp.jsonl"
+        code = main([
+            "simulate", "--topology", "webapp", "--tasks", "60", "--out", str(out),
+        ])
+        assert code == 0
+        assert "network" in capsys.readouterr().out
+
+
+class TestInfer:
+    def test_infer_pipeline(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "80",
+            "--arrival-rate", "4", "--service-rate", "8",
+            "--servers", "1", "2", "--seed", "3", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "infer", str(out), "--observe", "0.3", "--iterations", "25",
+            "--seed", "0",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "estimated arrival rate" in text
+        assert "bottleneck ranking" in text
+        assert "verdict" in text
+
+
+class TestArgumentErrors:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9"])

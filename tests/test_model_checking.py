@@ -1,0 +1,90 @@
+"""Tests for posterior predictive checks."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal
+from repro.errors import InferenceError
+from repro.inference import run_stem
+from repro.model_checking import (
+    observed_statistics,
+    posterior_predictive_check,
+)
+from repro.network import QueueingNetwork, build_tandem_network
+from repro.observation import TaskSampling
+from repro.simulate import LinearRampArrivals, simulate_network
+
+
+class TestObservedStatistics:
+    def test_keys_and_sanity(self, tandem_sim, tandem_trace):
+        stats = observed_statistics(tandem_trace)
+        assert stats["response_p50"] <= stats["response_p90"] <= stats["response_p99"]
+        assert stats["interarrival_mean"] > 0.0
+        # Poisson arrivals: SCV near 1 (subsampled gaps are exponential-ish).
+        assert 0.3 < stats["interarrival_scv"] < 3.0
+
+    def test_requires_observed_tasks(self, tandem_sim):
+        trace = TaskSampling(fraction=0.01, min_tasks=1).observe(
+            tandem_sim.events, random_state=0
+        )
+        with pytest.raises(InferenceError):
+            observed_statistics(trace)
+
+
+class TestPPC:
+    @pytest.fixture(scope="class")
+    def well_specified(self):
+        net = build_tandem_network(4.0, [6.0, 9.0])
+        sim = simulate_network(net, 300, random_state=41)
+        trace = TaskSampling(fraction=0.25).observe(sim.events, random_state=4)
+        stem = run_stem(trace, n_iterations=50, random_state=5, init_method="heuristic")
+        fitted = net.with_rates(stem.rates)
+        return posterior_predictive_check(
+            trace, fitted, observe_fraction=0.25, n_replicates=15, random_state=6
+        )
+
+    def test_well_specified_model_passes(self, well_specified):
+        # A correctly specified model should reproduce its own statistics.
+        flagged = well_specified.flagged(alpha=0.02)
+        assert len(flagged) <= 1, flagged
+
+    def test_p_values_in_range(self, well_specified):
+        for p in well_specified.p_values.values():
+            if np.isfinite(p):
+                assert 0.0 <= p <= 1.0
+
+    def test_replicate_arrays_populated(self, well_specified):
+        for vals in well_specified.replicates.values():
+            assert vals.size >= 10
+
+    def test_misspecified_model_flagged(self):
+        """Heavy-tailed truth vs fitted M/M/1: the p99 should be flagged."""
+        base = build_tandem_network(3.0, [5.0, 5.0])
+        services = dict(base.services)
+        services["q1"] = LogNormal.from_mean_scv(mean=0.2, scv=12.0)
+        services["q2"] = LogNormal.from_mean_scv(mean=0.2, scv=12.0)
+        truth = QueueingNetwork(
+            queue_names=base.queue_names, services=services, fsm=base.fsm
+        )
+        sim = simulate_network(truth, 400, random_state=43)
+        trace = TaskSampling(fraction=0.3).observe(sim.events, random_state=7)
+        stem = run_stem(trace, n_iterations=50, random_state=8, init_method="heuristic")
+        fitted = base.with_rates(stem.rates)
+        ppc = posterior_predictive_check(
+            trace, fitted, observe_fraction=0.3, n_replicates=15, random_state=9
+        )
+        assert not ppc.ok
+
+    def test_ramp_arrivals_flagged(self):
+        """Non-homogeneous arrivals (the web-app mismatch) show up in SCV."""
+        net = build_tandem_network(2.0, [8.0, 8.0])
+        ramp = LinearRampArrivals(duration=150.0, rate0=0.0, slope=1.0)
+        sim = simulate_network(net, 300, arrival_process=ramp, random_state=44)
+        trace = TaskSampling(fraction=0.3).observe(sim.events, random_state=10)
+        stem = run_stem(trace, n_iterations=50, random_state=11, init_method="heuristic")
+        fitted = net.with_rates(stem.rates)
+        ppc = posterior_predictive_check(
+            trace, fitted, observe_fraction=0.3, n_replicates=15, random_state=12
+        )
+        # The ramp inflates observed interarrival SCV beyond Poisson replicates.
+        assert "interarrival_scv" in ppc.flagged(alpha=0.1) or not ppc.ok

@@ -1,0 +1,108 @@
+"""Tests for windowed estimation and anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.errors import InferenceError
+from repro.fsm import TaskPath
+from repro.network import build_tandem_network
+from repro.network.topology import QueueingNetwork
+from repro.observation import TaskSampling
+from repro.online import WindowedEstimator, detect_anomalies
+from repro.simulate import PoissonArrivals, simulate_tasks
+
+
+def simulate_with_degradation(n_tasks=600, fault_at=0.5, slow_factor=4.0, seed=0):
+    """A tandem trace where q1's service degrades midway (fault injection)."""
+    from repro.simulate import RateChange, simulate_with_faults
+
+    net = build_tandem_network(4.0, [8.0, 10.0])
+    horizon_estimate = n_tasks / 4.0
+    fault_time = fault_at * horizon_estimate
+    sim = simulate_with_faults(
+        net, n_tasks,
+        faults=[RateChange(queue=1, at=fault_time, rate=8.0 / slow_factor)],
+        random_state=seed,
+    )
+    events = sim.events
+    horizon = float(np.sort(events.departure[events.seq == 0])[-1])
+    return events, horizon, fault_time
+
+
+class TestWindowedEstimator:
+    @pytest.fixture(scope="class")
+    def windows(self):
+        events, horizon, fault_time = simulate_with_degradation(seed=13)
+        trace = TaskSampling(fraction=0.25).observe(events, random_state=1)
+        estimator = WindowedEstimator(
+            trace, window=horizon / 8, stem_iterations=30,
+            min_observed_tasks=3, random_state=2,
+        )
+        return estimator.run(), horizon, fault_time
+
+    def test_windows_cover_horizon(self, windows):
+        results, horizon, _ = windows
+        assert results[0].t_start == 0.0
+        assert results[-1].t_end >= horizon
+
+    def test_most_windows_estimate(self, windows):
+        results, _, _ = windows
+        ok = [w for w in results if w.ok]
+        assert len(ok) >= len(results) - 2
+
+    def test_degradation_visible_in_series(self, windows):
+        results, _, fault_time = windows
+        before = [w.mean_service(1) for w in results if w.ok and w.t_end <= fault_time]
+        after = [w.mean_service(1) for w in results if w.ok and w.t_start >= fault_time]
+        assert before and after
+        # Mean service at q1 quadruples after the fault.
+        assert np.median(after) > 2.0 * np.median(before)
+
+    def test_healthy_queue_stable(self, windows):
+        results, _, fault_time = windows
+        before = [w.mean_service(2) for w in results if w.ok and w.t_end <= fault_time]
+        after = [w.mean_service(2) for w in results if w.ok and w.t_start >= fault_time]
+        assert np.median(after) < 2.0 * np.median(before)
+
+    def test_validation(self, tandem_trace):
+        with pytest.raises(InferenceError):
+            WindowedEstimator(tandem_trace, window=-1.0)
+        with pytest.raises(InferenceError):
+            WindowedEstimator(tandem_trace, window=1.0, step=0.0)
+
+
+class TestAnomalyDetection:
+    def test_fault_flagged_on_right_queue(self):
+        events, horizon, fault_time = simulate_with_degradation(seed=29)
+        trace = TaskSampling(fraction=0.25).observe(events, random_state=3)
+        estimator = WindowedEstimator(
+            trace, window=horizon / 8, stem_iterations=30, random_state=4,
+        )
+        windows = estimator.run()
+        reports = detect_anomalies(windows, threshold=4.0)
+        assert reports, "the injected degradation was not detected"
+        flagged_queues = {r.queue for r in reports}
+        assert 1 in flagged_queues
+        # The first flag lands at or after the fault.
+        first = min(
+            (r for r in reports if r.queue == 1), key=lambda r: r.window_index
+        )
+        assert first.t_end >= fault_time * 0.8
+
+    def test_no_flags_on_healthy_trace(self, tandem_sim):
+        trace = TaskSampling(fraction=0.3).observe(tandem_sim.events, random_state=5)
+        horizon = float(np.nanmax(tandem_sim.events.departure))
+        estimator = WindowedEstimator(
+            trace, window=horizon / 5, stem_iterations=30, random_state=6,
+        )
+        windows = estimator.run()
+        reports = detect_anomalies(windows, threshold=6.0)
+        assert reports == []
+
+    def test_empty_windows(self):
+        assert detect_anomalies([]) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(InferenceError):
+            detect_anomalies([], threshold=0.0)

@@ -1,0 +1,115 @@
+"""Tests for what-if load prediction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import build_tandem_network, build_three_tier_network
+from repro.prediction import (
+    predict_response_curve,
+    saturation_point,
+    simulate_at_load,
+)
+
+
+class TestSaturationPoint:
+    def test_tandem_bottleneck(self):
+        net = build_tandem_network(1.0, [5.0, 3.0])
+        # Every task visits both queues once; the mu = 3 queue binds.
+        assert saturation_point(net) == pytest.approx(3.0)
+
+    def test_three_tier_accounts_for_splitting(self):
+        net = build_three_tier_network(1.0, (1, 2, 4), service_rate=5.0)
+        # 1-server tier: visits 1.0 -> capacity 5; 2-server tier: visits
+        # 0.5 each -> capacity 10; so the single server binds at 5.
+        assert saturation_point(net) == pytest.approx(5.0)
+
+    def test_revisits_count(self):
+        from repro.network import build_load_balanced_network
+
+        net = build_load_balanced_network(
+            arrival_rate=1.0, server_rates=[50.0],
+            pre=[("net", 10.0)], post=[("net", 10.0)],
+        )
+        # The network queue is visited twice: capacity 10 / 2 visits = 5.
+        assert saturation_point(net) == pytest.approx(5.0)
+
+
+class TestAnalyticCurve:
+    def test_monotone_response(self):
+        net = build_tandem_network(1.0, [5.0, 4.0])
+        sweep = predict_response_curve(net, np.array([0.5, 1.0, 2.0, 3.0, 3.9]))
+        finite = sweep.mean_response[np.isfinite(sweep.mean_response)]
+        assert np.all(np.diff(finite) > 0.0)
+
+    def test_saturation_reported_as_inf(self):
+        net = build_tandem_network(1.0, [5.0, 4.0])
+        sweep = predict_response_curve(net, np.array([3.0, 4.5]))
+        assert np.isfinite(sweep.mean_response[0])
+        assert np.isinf(sweep.mean_response[1])
+
+    def test_knee_detection(self):
+        net = build_tandem_network(1.0, [5.0])
+        rates = np.linspace(0.5, 4.9, 20)
+        sweep = predict_response_curve(net, rates)
+        knee = sweep.knee(factor=3.0)
+        assert knee is not None
+        # Response triples vs light load around lambda ~ 3.5-4.5.
+        assert 2.5 < knee < 5.0
+
+    def test_validation(self):
+        net = build_tandem_network(1.0, [5.0])
+        with pytest.raises(ConfigurationError):
+            predict_response_curve(net, np.array([]))
+        with pytest.raises(ConfigurationError):
+            predict_response_curve(net, np.array([1.0]), mode="oracle")
+
+
+class TestSimulationMode:
+    def test_matches_analytic_when_stable(self):
+        net = build_tandem_network(1.0, [5.0, 4.0])
+        rates = np.array([1.0, 2.0])
+        analytic = predict_response_curve(net, rates, mode="analytic")
+        simulated = predict_response_curve(
+            net, rates, mode="simulation", n_tasks=4000, n_repetitions=2,
+            random_state=0,
+        )
+        np.testing.assert_allclose(
+            simulated.mean_response, analytic.mean_response, rtol=0.15
+        )
+
+    def test_simulation_handles_overload(self):
+        net = build_tandem_network(1.0, [5.0])
+        sweep = predict_response_curve(
+            net, np.array([8.0]), mode="simulation", n_tasks=500,
+            n_repetitions=1, random_state=1,
+        )
+        # Transient response is finite (unlike the analytic inf) but large.
+        assert np.isfinite(sweep.mean_response[0])
+        assert sweep.mean_response[0] > 1.0
+
+    def test_simulate_at_load(self):
+        net = build_tandem_network(1.0, [5.0])
+        sim = simulate_at_load(net, arrival_rate=2.0, n_tasks=500, random_state=2)
+        assert sim.network.arrival_rate == 2.0
+        sim.events.validate()
+
+
+class TestEndToEndExtrapolation:
+    def test_fit_then_predict(self):
+        """The paper's promised workflow: fit at low load, predict high load."""
+        from repro.inference import run_stem
+        from repro.observation import TaskSampling
+        from repro.simulate import simulate_network
+
+        true_net = build_tandem_network(1.5, [5.0, 4.0])  # light load
+        sim = simulate_network(true_net, 600, random_state=3)
+        trace = TaskSampling(fraction=0.2).observe(sim.events, random_state=3)
+        stem = run_stem(trace, n_iterations=60, random_state=4, init_method="heuristic")
+        fitted = true_net.with_rates(stem.rates)
+        predicted = predict_response_curve(fitted, np.array([3.5]))
+        truth = predict_response_curve(true_net, np.array([3.5]))
+        # Extrapolated high-load response within 40% of the true model's.
+        assert predicted.mean_response[0] == pytest.approx(
+            truth.mean_response[0], rel=0.4
+        )

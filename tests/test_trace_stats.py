@@ -1,0 +1,109 @@
+"""Tests for trace-level statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidEventSetError
+from repro.trace_stats import (
+    busy_periods,
+    queue_length_process,
+    utilization_from_trace,
+)
+from tests.events.test_event_set import two_task_tandem
+
+
+class TestQueueLengthProcess:
+    def test_hand_computed_profile(self):
+        ev = two_task_tandem()
+        # Queue 1: task 0 in [1.0, 1.5], task 1 in [1.2, 1.9].
+        proc = queue_length_process(ev, 1)
+        assert proc.at(0.5) == 0
+        assert proc.at(1.1) == 1
+        assert proc.at(1.3) == 2
+        assert proc.at(1.7) == 1
+        assert proc.at(2.5) == 0
+
+    def test_peak(self):
+        ev = two_task_tandem()
+        t, n = queue_length_process(ev, 1).peak()
+        assert n == 2
+        assert 1.2 <= t <= 1.5
+
+    def test_time_average_matches_littles_lhs(self, tandem_sim):
+        proc = queue_length_process(tandem_sim.events, 1)
+        members = tandem_sim.events.queue_order(1)
+        sojourn = float(
+            np.sum(tandem_sim.events.departure[members]
+                   - tandem_sim.events.arrival[members])
+        )
+        horizon = proc.times[-1] - proc.times[0]
+        assert proc.time_average() == pytest.approx(sojourn / horizon, rel=1e-9)
+
+    def test_counts_never_negative(self, three_tier_sim):
+        for q in range(three_tier_sim.events.n_queues):
+            proc = queue_length_process(three_tier_sim.events, q)
+            assert proc.counts.min() >= 0
+            assert proc.counts[-1] == 0  # everything eventually departs
+
+    def test_empty_queue_rejected(self, tandem_sim):
+        from repro.network import build_load_balanced_network
+        from repro.simulate import simulate_network
+
+        net = build_load_balanced_network(2.0, [5.0, 5.0], weights=[1.0, 1e-12])
+        sim = simulate_network(net, 20, random_state=0)
+        starved = net.queue_index("server-1")
+        if sim.events.queue_order(starved).size == 0:
+            with pytest.raises(InvalidEventSetError):
+                queue_length_process(sim.events, starved)
+
+
+class TestBusyPeriods:
+    def test_hand_computed(self):
+        ev = two_task_tandem()
+        # Queue 1 is busy continuously from 1.0 to 1.9 (task 1 arrives
+        # while task 0 is in service).
+        periods = busy_periods(ev, 1)
+        assert len(periods) == 1
+        assert periods[0].start == pytest.approx(1.0)
+        assert periods[0].end == pytest.approx(1.9)
+        assert periods[0].n_served == 2
+
+    def test_idle_gap_splits_periods(self):
+        ev = two_task_tandem()
+        # Queue 2: task 0 in service [1.5, 1.8], task 1 arrives 1.9 > 1.8.
+        periods = busy_periods(ev, 2)
+        assert len(periods) == 2
+        assert all(p.n_served == 1 for p in periods)
+
+    def test_busy_time_equals_total_service(self, tandem_sim):
+        ev = tandem_sim.events
+        for q in (1, 2):
+            periods = busy_periods(ev, q)
+            busy = sum(p.duration for p in periods)
+            members = ev.queue_order(q)
+            total_service = float(ev.service_times()[members].sum())
+            assert busy == pytest.approx(total_service, rel=1e-9)
+
+    def test_served_counts_sum(self, tandem_sim):
+        ev = tandem_sim.events
+        periods = busy_periods(ev, 1)
+        assert sum(p.n_served for p in periods) == ev.queue_order(1).size
+
+
+class TestUtilization:
+    def test_bounds(self, three_tier_sim):
+        for q in range(1, three_tier_sim.events.n_queues):
+            u = utilization_from_trace(three_tier_sim.events, q)
+            assert 0.0 <= u <= 1.0
+
+    def test_overloaded_queue_near_saturation(self, three_tier_sim):
+        # The rho = 2 tier is busy almost continuously.
+        assert utilization_from_trace(three_tier_sim.events, 1) > 0.9
+
+    def test_light_queue_mostly_idle(self):
+        from repro.network import build_tandem_network
+        from repro.simulate import simulate_network
+
+        net = build_tandem_network(1.0, [20.0])
+        sim = simulate_network(net, 500, random_state=1)
+        assert utilization_from_trace(sim.events, 1) < 0.15

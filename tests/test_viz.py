@@ -1,0 +1,83 @@
+"""Tests for ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.viz import boxplot_panel, series_panel, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_nan_renders_blank(self):
+        s = sparkline([1.0, float("nan"), 2.0])
+        assert s[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_pinned_scale(self):
+        s = sparkline([0.5], lo=0.0, hi=1.0)
+        assert s in "▄▅"
+
+
+class TestSeriesPanel:
+    def test_contains_names_and_values(self):
+        text = series_panel(
+            {"web": [0.1, 0.2, 0.3], "db": [0.05, 0.05, 0.04]},
+            title="estimates",
+        )
+        assert "estimates" in text
+        assert "web" in text and "db" in text
+        assert "0.300" in text
+        assert "scale:" in text
+
+    def test_shared_scale(self):
+        text = series_panel({"a": [0.0, 10.0], "b": [5.0, 5.0]})
+        # b sits mid-scale, so neither bottom nor top tick.
+        b_line = [ln for ln in text.splitlines() if ln.startswith("b")][0]
+        assert "▁▁" not in b_line.split()[1]
+
+    def test_handles_nan_tail(self):
+        text = series_panel({"a": [1.0, float("nan")]})
+        assert "1.000" in text
+
+
+class TestBoxplotPanel:
+    def test_structure(self, rng):
+        data = {
+            "5%": rng.exponential(1.0, size=50).tolist(),
+            "25%": (rng.exponential(0.2, size=50)).tolist(),
+        }
+        text = boxplot_panel(data, title="Figure 4")
+        assert "Figure 4" in text
+        assert "median" in text
+        for key in data:
+            assert key in text
+        # Median marker present in each box row.
+        rows = [ln for ln in text.splitlines() if "median" in ln]
+        assert len(rows) == 2
+        assert all("|" in row for row in rows)
+
+    def test_medians_ordered_visually(self, rng):
+        small = np.full(20, 0.1)
+        large = np.full(20, 0.9)
+        text = boxplot_panel({"small": small, "large": large}, width=40)
+        rows = {ln.split()[0]: ln for ln in text.splitlines() if "median" in ln}
+        assert rows["small"].index("|") < rows["large"].index("|")
+
+    def test_empty_groups(self):
+        assert boxplot_panel({}, title="t") == "t"
+
+    def test_nan_filtered(self):
+        text = boxplot_panel({"a": [float("nan"), 1.0, 2.0]})
+        assert "median 1.5" in text

@@ -1,0 +1,97 @@
+"""Tests for the simulated movie-voting web application."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.webapp import (
+    WebAppConfig,
+    build_webapp_network,
+    generate_webapp_trace,
+    paper_webapp_config,
+)
+
+
+class TestConfig:
+    def test_paper_numbers(self):
+        config = paper_webapp_config()
+        assert config.n_requests == 5759
+        assert config.n_events == 23036  # the paper's event count
+        assert config.duration == pytest.approx(1800.0)
+        assert config.n_web_servers == 10
+
+    def test_balancer_weights(self):
+        config = WebAppConfig(n_web_servers=4, starved_weight=0.01)
+        weights = config.balancer_weights()
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[-1] < weights[0] / 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WebAppConfig(n_requests=0)
+        with pytest.raises(ConfigurationError):
+            WebAppConfig(web_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            WebAppConfig(starved_weight=0.0)
+
+
+class TestNetwork:
+    def test_queue_layout(self):
+        net = build_webapp_network()
+        # arrivals + network + 10 web + db = 13.
+        assert net.n_queues == 13
+        assert net.queue_names[1] == "network"
+        assert net.queue_names[-1] == "db"
+
+    def test_every_path_is_network_web_db_network(self, rng):
+        net = build_webapp_network()
+        for _ in range(25):
+            path = net.sample_path(rng)
+            assert len(path) == 4
+            assert path.queues[0] == 1
+            assert 2 <= path.queues[1] <= 11
+            assert path.queues[2] == 12
+            assert path.queues[3] == 1
+
+    def test_network_queue_visited_twice(self):
+        net = build_webapp_network()
+        visits = net.fsm.expected_visits()
+        assert visits[1] == pytest.approx(2.0)
+
+
+class TestTraceGeneration:
+    @pytest.fixture(scope="class")
+    def small_trace(self):
+        config = WebAppConfig(n_requests=400, duration=150.0)
+        return generate_webapp_trace(config, random_state=77), config
+
+    def test_event_count(self, small_trace):
+        sim, config = small_trace
+        assert sim.events.n_events == config.n_requests * 5  # incl. initial
+        non_init = int(np.count_nonzero(sim.events.seq != 0))
+        assert non_init == config.n_events
+
+    def test_trace_valid(self, small_trace):
+        sim, _ = small_trace
+        sim.events.validate()
+
+    def test_load_ramps_up(self, small_trace):
+        sim, config = small_trace
+        entries = np.sort(sim.events.departure[sim.events.seq == 0])
+        midpoint = config.duration / 2.0
+        late = np.count_nonzero(entries > midpoint)
+        # With rate ∝ t, 75% of requests arrive in the second half.
+        assert late / entries.size == pytest.approx(0.75, abs=0.06)
+
+    def test_one_server_starved(self, small_trace):
+        sim, config = small_trace
+        counts = sim.events.events_per_queue()
+        web_counts = counts[2:12]
+        assert web_counts[-1] < web_counts[:-1].min() / 5
+
+    def test_starved_request_count_matches_paper_scale(self):
+        """At full scale the starved server gets on the order of 19 requests."""
+        config = paper_webapp_config()
+        weights = config.balancer_weights()
+        expected = weights[-1] * config.n_requests
+        assert 10 < expected < 40

@@ -1,0 +1,112 @@
+"""Multi-chain throughput: blanket caching, batched draws, worker fan-out.
+
+Two measurements back the multi-chain engine:
+
+* the per-sweep speedup of the blanket-cached (and batched-draw) sweep
+  over the derive-everything-per-move reference sweep, and
+* multi-chain wall-clock vs chain count and process-pool size, with a
+  bitwise determinism check that worker count never changes the draws.
+
+On a single-core container the pool adds overhead instead of speed — the
+table still shows sweep throughput per configuration, and the determinism
+assertion is the part that must hold everywhere.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.inference import GibbsSampler, MultiChainSampler, heuristic_initialize
+from repro.network import build_three_tier_network
+from repro.observation import TaskSampling
+from repro.simulate import simulate_network
+
+from conftest import full_scale
+
+
+def make_trace(n_tasks: int, seed: int = 17):
+    net = build_three_tier_network(10.0, (1, 2, 4))
+    sim = simulate_network(net, n_tasks, random_state=seed)
+    trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=seed)
+    return trace, sim.true_rates()
+
+
+def sweep_rate(trace, rates, n_sweeps=8, **kwargs):
+    sampler = GibbsSampler(
+        trace, heuristic_initialize(trace, rates), rates, random_state=3, **kwargs
+    )
+    sampler.sweep()  # warm-up
+    t0 = time.perf_counter()
+    sampler.run(n_sweeps)
+    elapsed = (time.perf_counter() - t0) / n_sweeps
+    return elapsed, sampler.n_latent
+
+
+def test_blanket_cache_speedup(benchmark):
+    """Cached sweeps must never be slower than the reference sweep."""
+    n_tasks = 2000 if full_scale() else 500
+    trace, rates = make_trace(n_tasks)
+
+    def run():
+        return {
+            "uncached": sweep_rate(trace, rates, cache_blankets=False),
+            "cached": sweep_rate(trace, rates, cache_blankets=True),
+            "cached+batch": sweep_rate(trace, rates, batch_draws=True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["uncached"][0]
+    rows = [
+        (label, latent, f"{sec * 1e3:.1f}", f"{sec / latent * 1e6:.1f}",
+         f"{base / sec:.2f}x")
+        for label, (sec, latent) in results.items()
+    ]
+    print("\n=== Sweep throughput: blanket cache + batched draws ===")
+    print(render_table(
+        ["sweep", "latent vars", "ms / sweep", "us / latent", "speedup"],
+        rows, title="static blankets precomputed once vs re-derived per move",
+    ))
+    # Generous bound: the point is catching a real regression (cached
+    # sweeps ~1.3-1.8x faster locally), not failing CI on a noisy runner.
+    assert results["cached"][0] < base * 1.5
+    assert results["cached+batch"][0] < base * 1.5
+
+
+def test_chain_worker_scaling(benchmark):
+    """Wall-clock vs chain/worker count, plus bitwise worker invariance."""
+    n_tasks = 800 if full_scale() else 200
+    trace, rates = make_trace(n_tasks)
+    n_samples = 10 if full_scale() else 5
+    cpu = os.cpu_count() or 1
+    configs = [(1, None), (2, None), (4, None), (4, 2), (4, min(4, cpu))]
+
+    def run():
+        out = []
+        for n_chains, workers in configs:
+            mc = MultiChainSampler(trace, rates, n_chains=n_chains, random_state=29)
+            t0 = time.perf_counter()
+            post = mc.collect(n_samples=n_samples, burn_in=2, workers=workers)
+            out.append((n_chains, workers, time.perf_counter() - t0, post))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_sweeps = n_samples + 2
+    rows = [
+        (k, w if w else "serial", f"{sec:.2f}",
+         f"{k * total_sweeps / sec:.1f}",
+         f"{post.max_r_hat('waiting'):.3f}")
+        for k, w, sec, post in results
+    ]
+    print("\n=== Multi-chain scaling: chains x workers ===")
+    print(render_table(
+        ["chains", "workers", "seconds", "chain-sweeps / s", "max split-Rhat"],
+        rows, title=f"{trace.n_latent} latent vars, {n_samples} samples/chain",
+    ))
+    # Determinism across worker counts: all 4-chain runs drew identically.
+    four_chain = [post for k, _, _, post in results if k == 4]
+    for other in four_chain[1:]:
+        for a, b in zip(four_chain[0].chains, other.chains):
+            np.testing.assert_array_equal(a.mean_waiting, b.mean_waiting)
+            np.testing.assert_array_equal(a.log_joint, b.log_joint)

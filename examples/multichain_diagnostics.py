@@ -1,0 +1,78 @@
+"""Multi-chain inference: trust the posterior before using it.
+
+Deterministic dependencies are "known to impair the performance of Gibbs
+samplers" (paper Section 3) — a single chain can look perfectly stable
+while being stuck.  This example runs four independent chains from
+over-dispersed starting points (heuristic, LP, and rate-jittered
+initializations), optionally fanned out over a process pool, and reads the
+cross-chain diagnostics before reporting any estimate:
+
+* split-R^hat near 1 on every queue  ->  the chains agree, the posterior
+  summaries are trustworthy;
+* cross-chain ESS  ->  how many independent draws the pooled posterior is
+  actually worth.
+
+Run:  python examples/multichain_diagnostics.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import (
+    MultiChainSampler,
+    TaskSampling,
+    build_three_tier_network,
+    run_stem,
+    simulate_network,
+)
+
+SEED = 42
+
+
+def main() -> None:
+    # 1. Simulate the paper's three-tier system and observe 10 % of tasks.
+    network = build_three_tier_network(
+        arrival_rate=10.0, servers_per_tier=(1, 2, 4), service_rate=5.0
+    )
+    sim = simulate_network(network, n_tasks=400, random_state=SEED)
+    trace = TaskSampling(fraction=0.10).observe(sim.events, random_state=SEED)
+    print(trace.summary())
+
+    # 2. Rates via StEM with two pooled E-step chains (less noisy iterates).
+    result = run_stem(trace, n_iterations=80, random_state=SEED, n_chains=2)
+    print(f"\nestimated arrival rate lambda = {result.arrival_rate:.2f} (true 10.0)")
+
+    # 3. Posterior waiting times from 4 independent chains.  Worker count
+    #    only changes scheduling — the draws are identical either way.
+    workers = min(4, os.cpu_count() or 1)
+    multi = MultiChainSampler(
+        trace, rates=result.rates, n_chains=4, random_state=SEED + 1
+    ).collect(n_samples=40, burn_in=20, workers=workers)
+    print(multi.summary())
+
+    # 4. Read the diagnostics before believing any number.
+    r_hat = multi.split_r_hat("waiting")
+    ess = multi.ess("waiting")
+    pooled = multi.pooled()
+    waiting = pooled.posterior_mean_waiting()
+    true_waiting = sim.events.mean_waiting_by_queue()
+    print(f"\n{'queue':<14}{'wait true':>10}{'wait est':>10}"
+          f"{'split-Rhat':>12}{'ESS':>8}")
+    for q in range(1, network.n_queues):
+        flag = "" if r_hat[q] < 1.2 else "  <- keep sampling"
+        print(
+            f"{network.queue_names[q]:<14}{true_waiting[q]:>10.3f}"
+            f"{waiting[q]:>10.3f}{r_hat[q]:>12.3f}{ess[q]:>8.0f}{flag}"
+        )
+
+    worst = multi.max_r_hat("waiting")
+    if worst < 1.2:
+        print(f"\nchains agree (max split-Rhat {worst:.3f}): estimates usable")
+    else:
+        print(f"\nmax split-Rhat {worst:.3f} > 1.2: run longer chains before "
+              "trusting the posterior")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,8 @@ from repro.fsm import ProbabilisticFSM, TaskPath, chain_fsm, load_balanced_fsm, 
 from repro.inference import (
     GibbsSampler,
     MCEMResult,
+    MultiChainPosterior,
+    MultiChainSampler,
     PiecewiseExponential,
     PosteriorSummary,
     StEMResult,
@@ -126,6 +128,8 @@ __all__ = [
     "TimeWindowSampling",
     # inference
     "GibbsSampler",
+    "MultiChainPosterior",
+    "MultiChainSampler",
     "PiecewiseExponential",
     "run_stem",
     "StEMResult",

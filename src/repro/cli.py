@@ -28,7 +28,12 @@ from repro.experiments import (
     run_variance_comparison,
     render_table,
 )
-from repro.inference import estimate_posterior, run_stem
+from repro.inference import (
+    MultiChainSampler,
+    PosteriorSummary,
+    estimate_posterior,
+    run_stem,
+)
 from repro.localization import rank_bottlenecks, render_report
 from repro.network import build_tandem_network, build_three_tier_network
 from repro.observation import TaskSampling
@@ -64,6 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
     inf.add_argument("--observe", type=float, default=0.1, help="observed task fraction")
     inf.add_argument("--iterations", type=int, default=100)
     inf.add_argument("--seed", type=int, default=0)
+    inf.add_argument(
+        "--chains", type=int, default=1,
+        help="independent Gibbs chains for the E-steps and the posterior; "
+        "more than one adds split-R^hat / ESS convergence diagnostics",
+    )
+    inf.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the posterior chains (default: serial; "
+        "results are identical at any worker count)",
+    )
 
     exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
     exp.add_argument("which", choices=["fig4", "fig5", "variance"])
@@ -99,23 +114,51 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     events = load_jsonl(args.trace)
     trace = TaskSampling(fraction=args.observe).observe(events, random_state=args.seed)
     print(trace.summary())
+    if args.chains < 1:
+        raise SystemExit("--chains must be at least 1")
+    if args.workers and args.chains == 1:
+        print(
+            "note: --workers has no effect with a single chain; "
+            "pass --chains K to fan out",
+            file=sys.stderr,
+        )
     stem = run_stem(
         trace, n_iterations=args.iterations, random_state=args.seed,
-        init_method="heuristic",
-    )
-    posterior = estimate_posterior(
-        trace, rates=stem.rates, n_samples=25, burn_in=10,
-        state=stem.sampler.state, random_state=args.seed + 1,
+        init_method="heuristic", n_chains=args.chains,
     )
     print(f"\nestimated arrival rate lambda = {stem.arrival_rate:.4g}")
-    rows = [
-        (q, f"{stem.rates[q]:.4g}", f"{1.0 / stem.rates[q]:.4g}",
-         f"{posterior.waiting_mean[q]:.4g}")
-        for q in range(1, events.n_queues)
-    ]
-    print(render_table(
-        ["queue", "mu-hat", "service", "waiting"], rows, title="\nper-queue estimates"
-    ))
+    if args.chains > 1:
+        multi = MultiChainSampler(
+            trace, rates=stem.rates, n_chains=args.chains,
+            random_state=args.seed + 1,
+        ).collect(n_samples=25, thin=1, burn_in=10, workers=args.workers)
+        posterior = PosteriorSummary.from_samples(stem.rates, multi.pooled())
+        r_hat = multi.split_r_hat("waiting")
+        ess = multi.ess("waiting")
+        rows = [
+            (q, f"{stem.rates[q]:.4g}", f"{1.0 / stem.rates[q]:.4g}",
+             f"{posterior.waiting_mean[q]:.4g}", f"{r_hat[q]:.3f}", f"{ess[q]:.0f}")
+            for q in range(1, events.n_queues)
+        ]
+        print(render_table(
+            ["queue", "mu-hat", "service", "waiting", "split-Rhat", "ESS"],
+            rows, title=f"\nper-queue estimates ({args.chains} chains)",
+        ))
+        print(f"\n{multi.summary()}")
+    else:
+        posterior = estimate_posterior(
+            trace, rates=stem.rates, n_samples=25, burn_in=10,
+            state=stem.sampler.state, random_state=args.seed + 1,
+        )
+        rows = [
+            (q, f"{stem.rates[q]:.4g}", f"{1.0 / stem.rates[q]:.4g}",
+             f"{posterior.waiting_mean[q]:.4g}")
+            for q in range(1, events.n_queues)
+        ]
+        print(render_table(
+            ["queue", "mu-hat", "service", "waiting"], rows,
+            title="\nper-queue estimates",
+        ))
     print("\nbottleneck ranking:")
     print(render_report(rank_bottlenecks(posterior)))
     return 0

@@ -53,6 +53,7 @@ class EventSet:
         "rho",
         "rho_inv",
         "n_queues",
+        "structure_version",
         "_queue_order",
         "_task_events",
     )
@@ -99,6 +100,11 @@ class EventSet:
                 f"queue indices must lie in [0, {n_queues - 1}]"
             )
         self.n_queues = int(n_queues)
+        #: Incremented on every structural mutation (queue reassignment).
+        #: Consumers that cache neighbor indices (the Gibbs sampler's
+        #: Markov-blanket cache) compare this against the version they
+        #: built from and rebuild when it moved.
+        self.structure_version = 0
         self._build_task_pointers()
         self._build_queue_order(queue_order)
 
@@ -426,6 +432,7 @@ class EventSet:
             self.rho[next_new] = e
         self._queue_order[q_new] = np.insert(order_new, pos, e)
         self.queue[e] = q_new
+        self.structure_version += 1
 
     def copy(self) -> "EventSet":
         """Deep copy sharing no mutable state with the original.
@@ -447,6 +454,7 @@ class EventSet:
         new.rho = self.rho.copy()
         new.rho_inv = self.rho_inv.copy()
         new.n_queues = self.n_queues
+        new.structure_version = self.structure_version
         new._queue_order = [o.copy() for o in self._queue_order]
         new._task_events = self._task_events
         return new

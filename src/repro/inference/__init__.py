@@ -15,22 +15,39 @@ Layout
   :mod:`repro.inference.mcem` — parameter estimation (paper Section 4).
 * :mod:`repro.inference.posterior` — posterior summaries of service and
   waiting times with fixed parameters.
-* :mod:`repro.inference.diagnostics` — MCMC convergence diagnostics.
+* :mod:`repro.inference.chains` — parallel multi-chain runs from
+  over-dispersed starts, with cross-chain convergence diagnostics.
+* :mod:`repro.inference.diagnostics` — MCMC convergence diagnostics
+  (within-chain and cross-chain).
 """
 
+from repro.inference.chains import (
+    ChainSpec,
+    MultiChainPosterior,
+    MultiChainSampler,
+    chain_seed_sequences,
+)
 from repro.inference.conditional import (
+    ArrivalBlanketCache,
     ArrivalNeighborhood,
+    DepartureBlanketCache,
     arrival_conditional,
     arrival_neighborhood,
     final_departure_conditional,
     markov_blanket,
 )
-from repro.inference.diagnostics import autocorrelation, effective_sample_size, geweke_z
-from repro.inference.gibbs import GibbsSampler
+from repro.inference.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_z,
+    multichain_ess,
+    split_r_hat,
+)
+from repro.inference.gibbs import GibbsSampler, PosteriorSamples
 from repro.inference.init_heuristic import heuristic_initialize, initial_rates_from_observed
 from repro.inference.init_lp import lp_initialize
 from repro.inference.mcem import MCEMResult, run_mcem
-from repro.inference.mstep import mle_rates
+from repro.inference.mstep import mle_rates, mle_rates_pooled
 from repro.inference.paths_mh import (
     PathResampler,
     PathSweepStats,
@@ -42,16 +59,24 @@ from repro.inference.stem import StEMResult, run_stem
 
 __all__ = [
     "PiecewiseExponential",
+    "ArrivalBlanketCache",
     "ArrivalNeighborhood",
+    "DepartureBlanketCache",
     "arrival_neighborhood",
     "arrival_conditional",
     "final_departure_conditional",
     "markov_blanket",
     "GibbsSampler",
+    "PosteriorSamples",
+    "ChainSpec",
+    "MultiChainPosterior",
+    "MultiChainSampler",
+    "chain_seed_sequences",
     "heuristic_initialize",
     "lp_initialize",
     "initial_rates_from_observed",
     "mle_rates",
+    "mle_rates_pooled",
     "PathResampler",
     "PathSweepStats",
     "tier_candidates_from_fsm",
@@ -64,4 +89,6 @@ __all__ = [
     "effective_sample_size",
     "autocorrelation",
     "geweke_z",
+    "multichain_ess",
+    "split_r_hat",
 ]

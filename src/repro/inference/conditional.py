@@ -197,6 +197,187 @@ def arrival_conditional(
     return PiecewiseExponential(knots, slopes)
 
 
+# ----------------------------------------------------------------------
+# Static-blanket caching (the fast sweep path).
+# ----------------------------------------------------------------------
+
+
+class ArrivalBlanketCache:
+    """Static part of every arrival move's Markov blanket.
+
+    The neighbor *indices* of a move (``pi``, ``rho``, ``rho_inv`` of the
+    event and its predecessor) never change during Gibbs sweeps — the
+    arrival order at every queue is frozen — so deriving them from the
+    :class:`~repro.events.EventSet` on every single-site move is wasted
+    work.  This cache extracts them once (plain Python lists, which scalar
+    loops read much faster than numpy arrays) and is rebuilt only when the
+    event set's ``structure_version`` moves (a path-MH queue reassignment).
+
+    ``mu_e`` / ``mu_pi`` are the per-move rate lookups; they depend on the
+    current rate vector and are refreshed by :meth:`refresh_rates`.
+    """
+
+    __slots__ = (
+        "events",
+        "pi_event",
+        "rho_e",
+        "rho_inv_e",
+        "rho_p",
+        "rho_inv_p",
+        "self_loop",
+        "mu_e",
+        "mu_pi",
+        "structure_version",
+    )
+
+    def __init__(self, event_set: EventSet, moves: np.ndarray, rates: np.ndarray) -> None:
+        self.events = [int(e) for e in moves]
+        self.pi_event = []
+        self.rho_e = []
+        self.rho_inv_e = []
+        self.rho_p = []
+        self.rho_inv_p = []
+        self.self_loop = []
+        for e in self.events:
+            p = int(event_set.pi[e])
+            if p < 0:
+                raise InferenceError(
+                    f"event {e} is an initial event; its arrival is fixed at clock 0"
+                )
+            rho_e = int(event_set.rho[e])
+            rho_inv_p = int(event_set.rho_inv[p])
+            self.pi_event.append(p)
+            self.rho_e.append(rho_e)
+            self.rho_inv_e.append(int(event_set.rho_inv[e]))
+            self.rho_p.append(int(event_set.rho[p]))
+            # When the next event at the predecessor's queue is e itself
+            # (back-to-back visit), the third Eq. (2) term vanishes — encode
+            # that as "no such neighbor" so the fast path needs no check.
+            self.rho_inv_p.append(rho_inv_p if rho_inv_p != e else -1)
+            self.self_loop.append(rho_e == p)
+        self.structure_version = event_set.structure_version
+        self.refresh_rates(event_set, rates)
+
+    def refresh_rates(self, event_set: EventSet, rates: np.ndarray) -> None:
+        """Re-gather the per-move rate lookups after a rate update."""
+        self.mu_e = [float(rates[event_set.queue[e]]) for e in self.events]
+        self.mu_pi = [float(rates[event_set.queue[p]]) for p in self.pi_event]
+
+    @property
+    def n_moves(self) -> int:
+        """Number of cached arrival moves."""
+        return len(self.events)
+
+
+class DepartureBlanketCache:
+    """Static blanket of every task-final departure move (two neighbors)."""
+
+    __slots__ = ("events", "rho_e", "rho_inv_e", "mu_e", "structure_version")
+
+    def __init__(self, event_set: EventSet, moves: np.ndarray, rates: np.ndarray) -> None:
+        self.events = [int(e) for e in moves]
+        self.rho_e = []
+        self.rho_inv_e = []
+        for e in self.events:
+            if event_set.pi_inv[e] != -1:
+                raise InferenceError(
+                    f"event {e} is not the last of its task; its departure is the "
+                    "successor's arrival and is resampled by the arrival move"
+                )
+            self.rho_e.append(int(event_set.rho[e]))
+            self.rho_inv_e.append(int(event_set.rho_inv[e]))
+        self.structure_version = event_set.structure_version
+        self.refresh_rates(event_set, rates)
+
+    def refresh_rates(self, event_set: EventSet, rates: np.ndarray) -> None:
+        """Re-gather the per-move rate lookups after a rate update."""
+        self.mu_e = [float(rates[event_set.queue[e]]) for e in self.events]
+
+    @property
+    def n_moves(self) -> int:
+        """Number of cached departure moves."""
+        return len(self.events)
+
+
+def arrival_conditional_cached(
+    arrival: np.ndarray, departure: np.ndarray, cache: ArrivalBlanketCache, i: int
+) -> PiecewiseExponential | None:
+    """:func:`arrival_conditional` for cached move *i* — bitwise identical.
+
+    Reads the current times from the raw arrays and the static indices from
+    the cache, performing exactly the arithmetic of the uncached builder so
+    a cached sweep reproduces an uncached sweep draw for draw.
+    """
+    rho_e = cache.rho_e[i]
+    if cache.self_loop[i]:
+        d_rho_e = -_INF
+    else:
+        d_rho_e = float(departure[rho_e]) if rho_e >= 0 else -_INF
+    a_rho_e = float(arrival[rho_e]) if rho_e >= 0 else -_INF
+    rho_inv_e = cache.rho_inv_e[i]
+    a_rho_inv_e = float(arrival[rho_inv_e]) if rho_inv_e >= 0 else _INF
+    a_pi = float(arrival[cache.pi_event[i]])
+    rho_p = cache.rho_p[i]
+    d_rho_pi = float(departure[rho_p]) if rho_p >= 0 else -_INF
+    rho_inv_p = cache.rho_inv_p[i]
+    if rho_inv_p >= 0:
+        a_rho_inv_pi = float(arrival[rho_inv_p])
+        d_rho_inv_pi = float(departure[rho_inv_p])
+    else:
+        a_rho_inv_pi = _INF
+        d_rho_inv_pi = _INF
+    lower = max(a_pi, d_rho_pi, a_rho_e)
+    upper = min(float(departure[cache.events[i]]), a_rho_inv_e, d_rho_inv_pi)
+    if not (upper - lower > 0.0) or not math.isfinite(lower) or not math.isfinite(upper):
+        return None
+    mu_e = cache.mu_e[i]
+    mu_pi = cache.mu_pi[i]
+    bp_own = d_rho_e
+    bp_pi = a_rho_inv_pi
+    knots = [lower]
+    for bp in sorted((bp_own, bp_pi)):
+        if lower < bp < upper:
+            knots.append(bp)
+    knots.append(upper)
+    slopes = []
+    for j in range(len(knots) - 1):
+        mid = 0.5 * (knots[j] + knots[j + 1])
+        slope = -mu_pi
+        if mid > bp_own:
+            slope += mu_e
+        if mid > bp_pi:
+            slope += mu_pi
+        slopes.append(slope)
+    return PiecewiseExponential(knots, slopes)
+
+
+def final_departure_conditional_cached(
+    arrival: np.ndarray, departure: np.ndarray, cache: DepartureBlanketCache, i: int
+) -> PiecewiseExponential | None:
+    """:func:`final_departure_conditional` for cached move *i*."""
+    mu_e = cache.mu_e[i]
+    rho_e = cache.rho_e[i]
+    lower = float(arrival[cache.events[i]])
+    if rho_e >= 0:
+        lower = max(lower, float(departure[rho_e]))
+    rho_inv_e = cache.rho_inv_e[i]
+    if rho_inv_e < 0:
+        return PiecewiseExponential([lower, _INF], [-mu_e])
+    upper = float(departure[rho_inv_e])
+    if not (upper - lower > 0.0):
+        return None
+    bp = float(arrival[rho_inv_e])
+    knots = [lower]
+    if lower < bp < upper:
+        knots.append(bp)
+    knots.append(upper)
+    slopes = []
+    for j in range(len(knots) - 1):
+        mid = 0.5 * (knots[j] + knots[j + 1])
+        slopes.append(-mu_e if mid <= bp else 0.0)
+    return PiecewiseExponential(knots, slopes)
+
+
 def final_departure_conditional(
     events: EventSet, e: int, rates: np.ndarray
 ) -> PiecewiseExponential | None:

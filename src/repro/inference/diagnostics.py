@@ -4,7 +4,19 @@ Deterministic dependencies are "known to impair the performance of Gibbs
 samplers" (paper Section 3), so any credible use of this sampler needs
 convergence checks.  We provide the standard trio — autocorrelation,
 effective sample size, and the Geweke mean-equality z-score — operating on
-scalar chains such as a queue's per-sweep mean waiting time.
+scalar chains such as a queue's per-sweep mean waiting time, plus the
+cross-chain pair that only a multi-chain run can compute:
+
+* :func:`split_r_hat` — the split Gelman–Rubin potential-scale-reduction
+  statistic.  Values near 1 mean the over-dispersed chains have mixed into
+  the same distribution; values ``>~ 1.01`` flag non-convergence that no
+  within-chain statistic can see.
+* :func:`multichain_ess` — effective sample size pooled across chains from
+  the combined within/between-chain autocorrelation estimate (the BDA3 /
+  Stan estimator restricted to Geyer's initial positive sequence).
+
+Both split each chain in half internally, so a single chain (``m = 1``)
+still yields a valid (two-half) diagnostic.
 """
 
 from __future__ import annotations
@@ -68,6 +80,107 @@ def effective_sample_size(chain: np.ndarray) -> float:
         tau += 2.0 * pair
         k += 2
     return float(n / max(tau, 1.0))
+
+
+def _split_chains(chains: np.ndarray) -> np.ndarray:
+    """Validate an ``(m, n)`` chain stack and split each chain in half."""
+    x = np.asarray(chains, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2:
+        raise InferenceError(f"need chains of shape (m, n), got {x.shape}")
+    m, n = x.shape
+    if n < 4:
+        raise InferenceError(f"need at least 4 samples per chain, got {n}")
+    half = n // 2
+    # Drop the middle sample of odd-length chains so the halves align.
+    return np.vstack([x[:, :half], x[:, n - half:]])
+
+
+def split_r_hat(chains: np.ndarray) -> float:
+    """Split Gelman–Rubin potential scale reduction factor.
+
+    Parameters
+    ----------
+    chains:
+        Array of shape ``(m, n)``: *m* chains of *n* aligned scalar draws
+        (a 1-D array is treated as a single chain).  Each chain is split in
+        half, so within-chain drift inflates the statistic even when the
+        chains agree with each other.
+
+    Returns
+    -------
+    float
+        ``sqrt(var_plus / W)`` where ``W`` is the mean within-half variance
+        and ``var_plus`` the pooled variance estimate; ``~1`` at
+        convergence, ``inf`` when the halves do not overlap at all, and
+        ``nan`` when any draw is non-finite (e.g. a queue with no events).
+    """
+    halves = _split_chains(chains)
+    if not np.all(np.isfinite(halves)):
+        return float("nan")
+    n = halves.shape[1]
+    within = halves.var(axis=1, ddof=1)
+    means = halves.mean(axis=1)
+    w = float(within.mean())
+    b = n * float(means.var(ddof=1))
+    var_plus = (n - 1) / n * w + b / n
+    if var_plus <= 0.0:
+        # All halves constant and equal: perfectly converged by fiat.
+        return 1.0
+    if w <= 0.0:
+        return float("inf")
+    return float(np.sqrt(var_plus / w))
+
+
+def _autocovariance(chain: np.ndarray) -> np.ndarray:
+    """Biased sample autocovariance ``c_t`` for ``t = 0 .. n-1`` via FFT."""
+    n = chain.size
+    centered = chain - chain.mean()
+    size = 1 << (2 * n - 1).bit_length()
+    fft = np.fft.rfft(centered, size)
+    acov = np.fft.irfft(fft * np.conj(fft), size)[:n]
+    return np.real(acov) / n
+
+
+def multichain_ess(chains: np.ndarray) -> float:
+    """Cross-chain effective sample size (BDA3 ``n_eff``).
+
+    Combines between- and within-chain variance into the pooled lag
+    autocorrelation ``rho_t = 1 - (W - mean_t c_t) / var_plus`` and sums it
+    over Geyer's initial positive sequence.  For a single chain this
+    reduces (up to the internal half-split) to the same estimate as
+    :func:`effective_sample_size`; for *m* well-mixed chains it is ~*m*
+    times larger.
+
+    Returns ``nan`` when any draw is non-finite and ``m * n`` (the draw
+    count) for constant chains.
+    """
+    halves = _split_chains(chains)
+    if not np.all(np.isfinite(halves)):
+        return float("nan")
+    m, n = halves.shape
+    total = float(m * n)
+    within = halves.var(axis=1, ddof=1)
+    means = halves.mean(axis=1)
+    w = float(within.mean())
+    b = n * float(means.var(ddof=1))
+    var_plus = (n - 1) / n * w + b / n
+    if var_plus <= 0.0:
+        return total
+    mean_acov = np.mean([_autocovariance(h) for h in halves], axis=0)
+    rho = 1.0 - (w - mean_acov) / var_plus
+    # Geyer initial positive sequence over pair sums rho_{2k} + rho_{2k+1}.
+    tau = 0.0
+    k = 0
+    while k + 1 < rho.size:
+        pair = rho[k] + rho[k + 1]
+        if pair <= 0.0:
+            break
+        tau += 2.0 * pair
+        k += 2
+    tau = max(tau - 1.0, 1.0 / total)
+    return float(min(total / tau, total))
 
 
 def geweke_z(chain: np.ndarray, first: float = 0.1, last: float = 0.5) -> float:

@@ -14,19 +14,55 @@ Gibbs kernel whose stationary distribution is the posterior
 The cost of a sweep is linear in the number of latent variables and
 independent of the number of queues — the scaling property the paper calls
 out in Section 5.2 and that ``benchmarks/bench_scaling.py`` measures.
+
+Two sweep-speed optimizations are available and on by default:
+
+* **blanket caching** (``cache_blankets=True``): the static neighbor
+  indices of every move's Markov blanket are extracted once at
+  construction instead of re-derived from the :class:`~repro.events.EventSet`
+  on every move; draws are bitwise identical to the uncached sweep.  The
+  cache tracks ``EventSet.structure_version`` and rebuilds itself after
+  path-MH queue reassignments, so interleaving with
+  :class:`~repro.inference.paths_mh.PathResampler` stays correct.
+* **batched draws** (``batch_draws=True``, off by default): all the
+  uniforms a sweep can consume are drawn in one generator call up front.
+  This produces a *different* (still exact and fully deterministic) random
+  stream than the scalar-draw sweep, because every visited move consumes
+  its two uniforms whether or not the move is skipped; use the default
+  when bit-compatibility with historical runs matters.
 """
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import InferenceError
 from repro.events import EventSet
-from repro.inference.conditional import arrival_conditional, final_departure_conditional
+from repro.inference.conditional import (
+    ArrivalBlanketCache,
+    DepartureBlanketCache,
+    arrival_conditional,
+    arrival_conditional_cached,
+    final_departure_conditional,
+    final_departure_conditional_cached,
+)
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_generator
+
+
+@contextmanager
+def _ignore_empty_slice_warnings():
+    # Queues with no events produce all-nan columns (e.g. a server the
+    # balancer never picked); nan is the intended answer there, so the
+    # "mean of empty slice" / "all-nan slice" warnings are noise.
+    with np.errstate(invalid="ignore"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            yield
 
 
 @dataclass
@@ -62,6 +98,12 @@ class GibbsSampler:
     shuffle:
         Visit latent variables in a fresh random order every sweep (default);
         with ``False`` the scan order is the event index order.
+    cache_blankets:
+        Precompute the static Markov-blanket indices of every move (see
+        module docstring).  Draw-for-draw identical to the uncached sweep.
+    batch_draws:
+        Pre-draw each sweep's uniforms in one generator call (implies the
+        blanket cache; changes the random stream — see module docstring).
     """
 
     def __init__(
@@ -71,6 +113,8 @@ class GibbsSampler:
         rates: np.ndarray,
         random_state: RandomState = None,
         shuffle: bool = True,
+        cache_blankets: bool = True,
+        batch_draws: bool = False,
     ) -> None:
         self.trace = trace
         self.state = state
@@ -83,12 +127,20 @@ class GibbsSampler:
             raise InferenceError("all rates must be positive and finite")
         self.rng = as_generator(random_state)
         self.shuffle = shuffle
+        self.cache_blankets = bool(cache_blankets) or bool(batch_draws)
+        self.batch_draws = bool(batch_draws)
         self._arrival_moves = trace.latent_arrival_events.copy()
         self._departure_moves = trace.latent_departure_events.copy()
+        self._arrival_slots = np.arange(self._arrival_moves.size)
+        self._departure_slots = np.arange(self._departure_moves.size)
         if np.any(np.isnan(state.arrival)) or np.any(np.isnan(state.departure)):
             raise InferenceError(
                 "the state still contains nan times; run an initializer first"
             )
+        self._arrival_cache: ArrivalBlanketCache | None = None
+        self._departure_cache: DepartureBlanketCache | None = None
+        if self.cache_blankets:
+            self.rebuild_blanket_cache()
         self.n_sweeps_done = 0
 
     # ------------------------------------------------------------------
@@ -108,6 +160,10 @@ class GibbsSampler:
         if np.any(~np.isfinite(rates)) or np.any(rates <= 0.0):
             raise InferenceError("all rates must be positive and finite")
         self._rates = rates.copy()
+        if self._arrival_cache is not None:
+            self._arrival_cache.refresh_rates(self.state, self._rates)
+        if self._departure_cache is not None:
+            self._departure_cache.refresh_rates(self.state, self._rates)
 
     @property
     def n_latent(self) -> int:
@@ -115,11 +171,46 @@ class GibbsSampler:
         return self._arrival_moves.size + self._departure_moves.size
 
     # ------------------------------------------------------------------
+    # Blanket cache maintenance.
+    # ------------------------------------------------------------------
+
+    def rebuild_blanket_cache(self) -> None:
+        """(Re)extract the static part of every move's Markov blanket.
+
+        Called automatically at construction and whenever the event set's
+        ``structure_version`` has moved (a path-MH queue reassignment
+        changed ``rho``/``rho_inv`` pointers or queue memberships).
+        """
+        self._arrival_cache = ArrivalBlanketCache(
+            self.state, self._arrival_moves, self._rates
+        )
+        self._departure_cache = DepartureBlanketCache(
+            self.state, self._departure_moves, self._rates
+        )
+
+    def _fresh_caches(self) -> tuple[ArrivalBlanketCache, DepartureBlanketCache]:
+        if (
+            self._arrival_cache is None
+            or self._arrival_cache.structure_version != self.state.structure_version
+        ):
+            self.rebuild_blanket_cache()
+        return self._arrival_cache, self._departure_cache
+
+    # ------------------------------------------------------------------
     # Sweeping.
     # ------------------------------------------------------------------
 
     def sweep(self) -> SweepStats:
         """Resample every latent variable once; returns move statistics."""
+        if self.cache_blankets:
+            stats = self._sweep_cached()
+        else:
+            stats = self._sweep_reference()
+        self.n_sweeps_done += 1
+        return stats
+
+    def _sweep_reference(self) -> SweepStats:
+        """The uncached sweep: derive every blanket from the event set."""
         stats = SweepStats()
         arrivals = self._arrival_moves
         departures = self._departure_moves
@@ -142,7 +233,69 @@ class GibbsSampler:
                 continue
             state.set_final_departure(int(e), dist.sample(self.rng))
             stats.n_moves += 1
-        self.n_sweeps_done += 1
+        return stats
+
+    def _sweep_cached(self) -> SweepStats:
+        """Blanket-cached sweep, optionally with batched uniform draws.
+
+        With ``batch_draws=False`` this consumes the generator exactly like
+        :meth:`_sweep_reference` (slot permutations draw the same variates
+        as event permutations of equal length; each non-skipped move draws
+        its two uniforms scalar-by-scalar) and therefore reproduces its
+        output bitwise.
+        """
+        stats = SweepStats()
+        arr_cache, dep_cache = self._fresh_caches()
+        arr_order = self._arrival_slots
+        dep_order = self._departure_slots
+        if self.shuffle:
+            arr_order = self.rng.permutation(arr_order)
+            dep_order = self.rng.permutation(dep_order)
+        rng = self.rng
+        state = self.state
+        arrival = state.arrival
+        departure = state.departure
+        if self.batch_draws:
+            # One generator call covers the whole sweep.  Every visited
+            # move consumes its pair, skipped or not, which keeps the
+            # draw-to-move alignment independent of the skip pattern.
+            draws = rng.random(2 * (arr_order.size + dep_order.size))
+            pos = 0
+            for i in arr_order:
+                u, v = draws[pos], draws[pos + 1]
+                pos += 2
+                dist = arrival_conditional_cached(arrival, departure, arr_cache, i)
+                if dist is None:
+                    stats.n_skipped += 1
+                    continue
+                state.set_arrival(arr_cache.events[i], dist.sample_uv(u, v, rng))
+                stats.n_moves += 1
+            for i in dep_order:
+                u, v = draws[pos], draws[pos + 1]
+                pos += 2
+                dist = final_departure_conditional_cached(
+                    arrival, departure, dep_cache, i
+                )
+                if dist is None:
+                    stats.n_skipped += 1
+                    continue
+                departure[dep_cache.events[i]] = dist.sample_uv(u, v, rng)
+                stats.n_moves += 1
+            return stats
+        for i in arr_order:
+            dist = arrival_conditional_cached(arrival, departure, arr_cache, i)
+            if dist is None:
+                stats.n_skipped += 1
+                continue
+            state.set_arrival(arr_cache.events[i], dist.sample(rng))
+            stats.n_moves += 1
+        for i in dep_order:
+            dist = final_departure_conditional_cached(arrival, departure, dep_cache, i)
+            if dist is None:
+                stats.n_skipped += 1
+                continue
+            departure[dep_cache.events[i]] = dist.sample(rng)
+            stats.n_moves += 1
         return stats
 
     def run(self, n_sweeps: int) -> list[SweepStats]:
@@ -223,15 +376,8 @@ class PosteriorSamples:
 
     @staticmethod
     def _nan_reduce(reducer, values: np.ndarray) -> np.ndarray:
-        # Queues with no events produce all-nan columns (e.g. a server the
-        # balancer never picked); nan is the intended answer there, so the
-        # "mean of empty slice" warning is noise.
-        with np.errstate(invalid="ignore"):
-            import warnings
-
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", category=RuntimeWarning)
-                return reducer(values, axis=0)
+        with _ignore_empty_slice_warnings():
+            return reducer(values, axis=0)
 
     def posterior_mean_service(self) -> np.ndarray:
         """Posterior-mean of the per-queue mean service time."""
@@ -272,10 +418,7 @@ class PosteriorSamples:
             raise InferenceError(f"level must lie in (0, 1), got {level}")
         values = self.mean_waiting if kind == "waiting" else self.mean_service
         alpha = (1.0 - level) / 2.0
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", category=RuntimeWarning)
+        with _ignore_empty_slice_warnings():
             lower = np.nanquantile(values, alpha, axis=0)
             upper = np.nanquantile(values, 1.0 - alpha, axis=0)
         return lower, upper

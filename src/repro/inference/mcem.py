@@ -20,9 +20,9 @@ import numpy as np
 from repro.errors import InferenceError
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import initial_rates_from_observed
-from repro.inference.stem import initialize_state
+from repro.inference.stem import _build_chain_samplers
 from repro.observation import ObservedTrace
-from repro.rng import RandomState, as_generator
+from repro.rng import RandomState
 
 
 @dataclass
@@ -38,6 +38,12 @@ class MCEMResult:
     rates_history: np.ndarray
     sampler: GibbsSampler
     total_sweeps: int
+    samplers: list[GibbsSampler] | None = None
+
+    @property
+    def n_chains(self) -> int:
+        """Number of parallel E-step chains the run used."""
+        return len(self.samplers) if self.samplers else 1
 
     @property
     def arrival_rate(self) -> float:
@@ -58,6 +64,8 @@ def run_mcem(
     initial_rates: np.ndarray | None = None,
     init_method: str = "auto",
     random_state: RandomState = None,
+    n_chains: int = 1,
+    jitter: float = 0.15,
 ) -> MCEMResult:
     """Estimate rates by Monte-Carlo EM.
 
@@ -68,50 +76,65 @@ def run_mcem(
     n_iterations:
         Outer EM iterations.
     e_sweeps:
-        Gibbs sweeps averaged per E-step (after *e_burn_in* warm-up sweeps).
+        Gibbs sweeps averaged per E-step (after *e_burn_in* warm-up sweeps),
+        summed across chains: with ``n_chains > 1`` each chain contributes
+        ``e_sweeps`` kept sweeps and the sufficient statistics pool over
+        ``n_chains * e_sweeps`` imputations.
     e_burn_in:
-        Warm-up sweeps discarded at the start of each E-step (the chain is
-        warm-started from the previous iteration, so this can be small).
+        Warm-up sweeps discarded at the start of each E-step (the chains
+        are warm-started from the previous iteration, so this can be small).
     growth:
         Multiplicative growth of *e_sweeps* per outer iteration; values
         slightly above 1 implement the increasing-precision schedule that
         makes MCEM converge.
     initial_rates, init_method, random_state:
         As in :func:`~repro.inference.stem.run_stem`.
+    n_chains, jitter:
+        Parallel E-step chains with jittered over-dispersed starts, as in
+        :func:`~repro.inference.stem.run_stem`; ``n_chains=1`` reproduces
+        the historical single-chain stream exactly.
     """
     if n_iterations < 1 or e_sweeps < 1 or e_burn_in < 0:
         raise InferenceError("need n_iterations >= 1, e_sweeps >= 1, e_burn_in >= 0")
     if growth < 1.0:
         raise InferenceError(f"growth must be >= 1, got {growth}")
-    rng = as_generator(random_state)
+    if n_chains < 1:
+        raise InferenceError(f"need at least one chain, got {n_chains}")
     rates = (
         np.asarray(initial_rates, dtype=float).copy()
         if initial_rates is not None
         else initial_rates_from_observed(trace)
     )
-    state = initialize_state(trace, rates, method=init_method)
-    sampler = GibbsSampler(trace, state, rates, random_state=rng)
-    counts = state.events_per_queue().astype(float)
+    samplers = _build_chain_samplers(
+        trace, rates, init_method, n_chains, jitter, random_state, shuffle=True
+    )
+    counts = samplers[0].state.events_per_queue().astype(float)
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
     history[0] = rates
     total_sweeps = 0
     sweeps = float(e_sweeps)
     for it in range(1, n_iterations + 1):
-        sampler.run(e_burn_in)
-        total_sweeps += e_burn_in
         n_keep = max(1, int(round(sweeps)))
         acc = np.zeros(trace.skeleton.n_queues)
-        for _ in range(n_keep):
-            sampler.sweep()
-            acc += sampler.state.total_service_by_queue()
-        total_sweeps += n_keep
-        expected_totals = acc / n_keep
+        for sampler in samplers:
+            sampler.run(e_burn_in)
+            total_sweeps += e_burn_in
+            for _ in range(n_keep):
+                sampler.sweep()
+                acc += sampler.state.total_service_by_queue()
+            total_sweeps += n_keep
+        expected_totals = acc / (n_keep * len(samplers))
         with np.errstate(divide="ignore"):
             rates = counts / np.maximum(expected_totals, 1e-300)
         rates = np.clip(rates, 1e-9, 1e12)
-        sampler.set_rates(rates)
+        for sampler in samplers:
+            sampler.set_rates(rates)
         history[it] = rates
         sweeps *= growth
     return MCEMResult(
-        rates=rates, rates_history=history, sampler=sampler, total_sweeps=total_sweeps
+        rates=rates,
+        rates_history=history,
+        sampler=samplers[0],
+        total_sweeps=total_sweeps,
+        samplers=samplers,
     )

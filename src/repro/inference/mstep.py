@@ -74,3 +74,44 @@ def mle_rates(
     rates[~np.isfinite(rates)] = max_rate
     rates[counts == 0.0] = min_rate
     return np.clip(rates, min_rate, max_rate)
+
+
+def mle_rates_pooled(
+    event_sets,
+    min_rate: float = 1e-9,
+    max_rate: float = 1e12,
+) -> np.ndarray:
+    """M-step over sufficient statistics pooled across parallel chains.
+
+    Every chain of a multi-chain E-step holds an imputation of the *same*
+    trace, so the per-queue event counts agree and only the sampled total
+    service times differ; the pooled MLE divides the (shared) counts by the
+    cross-chain mean of the totals.  With one chain this reduces exactly to
+    :func:`mle_rates`.
+
+    Parameters
+    ----------
+    event_sets:
+        One completed, feasible :class:`~repro.events.EventSet` per chain.
+    min_rate / max_rate:
+        Degenerate-sweep clamps, as in :func:`mle_rates`.
+    """
+    event_sets = list(event_sets)
+    if not event_sets:
+        raise InferenceError("need at least one event set to pool")
+    counts = event_sets[0].events_per_queue().astype(float)
+    totals = np.zeros(event_sets[0].n_queues)
+    for events in event_sets:
+        services = events.service_times()
+        if np.any(services < -1e-9):
+            raise InferenceError(
+                f"cannot take an M-step on an infeasible event set "
+                f"(min service {services.min():.3e})"
+            )
+        np.add.at(totals, events.queue, np.maximum(services, 0.0))
+    totals /= len(event_sets)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = counts / totals
+    rates[~np.isfinite(rates)] = max_rate
+    rates[counts == 0.0] = min_rate
+    return np.clip(rates, min_rate, max_rate)

@@ -197,8 +197,21 @@ class PiecewiseExponential:
         inside the piece (uniform when the piece is flat).
         """
         rng = as_generator(random_state)
+        return self.sample_uv(rng.uniform(), rng.uniform(), rng)
+
+    def sample_uv(
+        self, u: float, v: float, random_state: RandomState = None
+    ) -> float:
+        """:meth:`sample` driven by two externally supplied uniforms.
+
+        *u* selects the piece, *v* inverts the within-piece CDF.  Used by
+        the Gibbs sampler's batched-draw sweep, which pre-draws all the
+        uniforms of a sweep in one generator call; *random_state* is only
+        consulted for the unbounded-tail case (an exponential draw).
+        Given the same two uniforms this returns bitwise the same value as
+        :meth:`sample`.
+        """
         probs = self.piece_probabilities()
-        u = rng.uniform()
         i = 0
         acc = 0.0
         for i, p in enumerate(probs):
@@ -207,9 +220,8 @@ class PiecewiseExponential:
                 break
         lo, hi = self.knots[i], self.knots[i + 1]
         c = self.slopes[i]
-        v = rng.uniform()
         if math.isinf(hi):
-            return lo + rng.exponential(1.0 / (-c))
+            return lo + as_generator(random_state).exponential(1.0 / (-c))
         width = hi - lo
         z = c * width
         if abs(z) < _FLAT_EPS:

@@ -51,6 +51,20 @@ class PosteriorSummary:
         """Number of queues (including the arrival pseudo-queue 0)."""
         return self.rates.size
 
+    @classmethod
+    def from_samples(
+        cls, rates: np.ndarray, samples: PosteriorSamples
+    ) -> "PosteriorSummary":
+        """Summarize an existing sample set (single- or pooled multi-chain)."""
+        return cls(
+            rates=np.asarray(rates, dtype=float).copy(),
+            service_mean=samples.posterior_mean_service(),
+            service_std=samples.posterior_std_service(),
+            waiting_mean=samples.posterior_mean_waiting(),
+            waiting_std=samples.posterior_std_waiting(),
+            samples=samples,
+        )
+
 
 def estimate_posterior(
     trace: ObservedTrace,
@@ -89,11 +103,4 @@ def estimate_posterior(
         state = initialize_state(trace, rates, method=init_method)
     sampler = GibbsSampler(trace, state, rates, random_state=rng)
     samples = sampler.collect(n_samples=n_samples, thin=thin, burn_in=burn_in)
-    return PosteriorSummary(
-        rates=rates.copy(),
-        service_mean=samples.posterior_mean_service(),
-        service_std=samples.posterior_std_service(),
-        waiting_mean=samples.posterior_mean_waiting(),
-        waiting_std=samples.posterior_std_waiting(),
-        samples=samples,
-    )
+    return PosteriorSummary.from_samples(rates, samples)

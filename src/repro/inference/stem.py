@@ -20,10 +20,11 @@ import numpy as np
 
 from repro.errors import InferenceError
 from repro.events import EventSet
+from repro.inference.chains import chain_seed_sequences, jittered_rates
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import heuristic_initialize, initial_rates_from_observed
 from repro.inference.init_lp import lp_initialize
-from repro.inference.mstep import mle_rates
+from repro.inference.mstep import mle_rates, mle_rates_pooled
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_generator
 
@@ -45,12 +46,21 @@ class StEMResult:
         summaries at the estimated parameters.
     burn_in:
         Number of leading iterates excluded from the average.
+    samplers:
+        All E-step chains (``samplers[0] is sampler``); more than one when
+        the run pooled sufficient statistics across ``n_chains`` chains.
     """
 
     rates: np.ndarray
     rates_history: np.ndarray
     sampler: GibbsSampler
     burn_in: int
+    samplers: list[GibbsSampler] | None = None
+
+    @property
+    def n_chains(self) -> int:
+        """Number of parallel E-step chains the run used."""
+        return len(self.samplers) if self.samplers else 1
 
     @property
     def arrival_rate(self) -> float:
@@ -96,6 +106,8 @@ def run_stem(
     sweeps_per_iteration: int = 1,
     random_state: RandomState = None,
     shuffle: bool = True,
+    n_chains: int = 1,
+    jitter: float = 0.15,
 ) -> StEMResult:
     """Estimate ``lambda`` and all ``mu_q`` from an incomplete trace.
 
@@ -117,32 +129,96 @@ def run_stem(
         interpolate toward Monte-Carlo EM.
     random_state, shuffle:
         Randomness controls (see :class:`~repro.inference.gibbs.GibbsSampler`).
+    n_chains:
+        Number of parallel E-step chains.  With more than one chain every
+        M-step divides the shared event counts by the cross-chain *mean*
+        of the sampled total service times
+        (:func:`~repro.inference.mstep.mle_rates_pooled`), which damps the
+        sweep-to-sweep noise of the rate iterates; chains beyond the first
+        start from jittered initializations and independent seed-sequence
+        spawns.  ``n_chains=1`` reproduces the historical single-chain
+        stream exactly.
+    jitter:
+        Log-normal sigma of the extra chains' initializer-rate jitter.
     """
     if n_iterations < 1:
         raise InferenceError(f"need at least one iteration, got {n_iterations}")
+    if n_chains < 1:
+        raise InferenceError(f"need at least one chain, got {n_chains}")
     if burn_in is None:
         burn_in = n_iterations // 2
     if not 0 <= burn_in < n_iterations:
         raise InferenceError(
             f"burn_in must lie in [0, n_iterations), got {burn_in}/{n_iterations}"
         )
-    rng = as_generator(random_state)
     rates = (
         np.asarray(initial_rates, dtype=float).copy()
         if initial_rates is not None
         else initial_rates_from_observed(trace)
     )
-    state = initialize_state(trace, rates, method=init_method)
-    sampler = GibbsSampler(trace, state, rates, random_state=rng, shuffle=shuffle)
+    samplers = _build_chain_samplers(
+        trace, rates, init_method, n_chains, jitter, random_state, shuffle
+    )
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
     history[0] = rates
     for it in range(1, n_iterations + 1):
-        sampler.run(sweeps_per_iteration)
-        rates = mle_rates(sampler.state)
-        sampler.set_rates(rates)
+        for sampler in samplers:
+            sampler.run(sweeps_per_iteration)
+        if len(samplers) == 1:
+            rates = mle_rates(samplers[0].state)
+        else:
+            rates = mle_rates_pooled([s.state for s in samplers])
+        for sampler in samplers:
+            sampler.set_rates(rates)
         history[it] = rates
     estimate = history[burn_in:].mean(axis=0)
-    sampler.set_rates(estimate)
+    for sampler in samplers:
+        sampler.set_rates(estimate)
     return StEMResult(
-        rates=estimate, rates_history=history, sampler=sampler, burn_in=burn_in
+        rates=estimate,
+        rates_history=history,
+        sampler=samplers[0],
+        burn_in=burn_in,
+        samplers=samplers,
     )
+
+
+def _build_chain_samplers(
+    trace: ObservedTrace,
+    rates: np.ndarray,
+    init_method: str,
+    n_chains: int,
+    jitter: float,
+    random_state: RandomState,
+    shuffle: bool,
+) -> list[GibbsSampler]:
+    """One warm sampler per E-step chain, over-dispersed past chain 0.
+
+    Chain 0's starting state (initialized at the given rates) and
+    generator (exactly ``as_generator(random_state)``) match the
+    historical single-chain run, so ``n_chains=1`` reproduces it
+    bit-for-bit; with more chains the pooled M-steps feed different rates
+    back, so the trajectories legitimately diverge after the first
+    iteration.  Extra chains initialize at jittered rates and sample from
+    independent seed-sequence spawns that never draw from a
+    caller-supplied generator.
+    """
+    state = initialize_state(trace, rates, method=init_method)
+    samplers = [
+        GibbsSampler(
+            trace, state, rates, random_state=as_generator(random_state),
+            shuffle=shuffle,
+        )
+    ]
+    if n_chains == 1:
+        return samplers
+    for init_seed, sweep_seed in chain_seed_sequences(random_state, n_chains)[1:]:
+        chain_state = initialize_state(
+            trace, jittered_rates(rates, jitter, init_seed), method=init_method
+        )
+        samplers.append(
+            GibbsSampler(
+                trace, chain_state, rates, random_state=sweep_seed, shuffle=shuffle
+            )
+        )
+    return samplers

@@ -38,6 +38,20 @@ def as_generator(random_state: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(random_state)
 
 
+def as_seed_sequence(random_state: RandomState = None) -> np.random.SeedSequence:
+    """Normalize *random_state* into a :class:`numpy.random.SeedSequence`.
+
+    For a ``Generator`` the underlying bit generator's seed sequence is
+    used directly, so deriving child seeds never consumes (or perturbs)
+    the generator's sample stream.
+    """
+    if isinstance(random_state, np.random.SeedSequence):
+        return random_state
+    if isinstance(random_state, np.random.Generator):
+        return random_state.bit_generator.seed_seq
+    return np.random.SeedSequence(random_state)
+
+
 def spawn(random_state: RandomState, n: int) -> list[np.random.Generator]:
     """Create *n* statistically independent child generators.
 

@@ -4,7 +4,23 @@ import numpy as np
 import pytest
 
 from repro.errors import InferenceError
-from repro.inference import autocorrelation, effective_sample_size, geweke_z
+from repro.inference import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_z,
+    multichain_ess,
+    split_r_hat,
+)
+
+
+def _ar1_chains(rng, m, n, phi):
+    """m independent AR(1) chains with coefficient phi."""
+    chains = np.empty((m, n))
+    noise = rng.normal(size=(m, n))
+    chains[:, 0] = noise[:, 0]
+    for i in range(1, n):
+        chains[:, i] = phi * chains[:, i - 1] + noise[:, i]
+    return chains
 
 
 class TestAutocorrelation:
@@ -78,6 +94,77 @@ class TestGeweke:
     def test_rejects_short_chain(self):
         with pytest.raises(InferenceError):
             geweke_z(np.ones(10))
+
+
+class TestSplitRHat:
+    def test_iid_chains_near_one(self, rng):
+        chains = rng.normal(size=(4, 2000))
+        assert split_r_hat(chains) == pytest.approx(1.0, abs=0.02)
+
+    def test_mean_shifted_chains_much_greater_than_one(self, rng):
+        chains = rng.normal(size=(4, 500)) + np.arange(4)[:, None] * 5.0
+        assert split_r_hat(chains) > 3.0
+
+    def test_within_chain_drift_detected(self, rng):
+        """The *split* part: agreeing-but-drifting chains still flag."""
+        drift = np.linspace(0.0, 5.0, 1000)
+        chains = rng.normal(size=(3, 1000)) * 0.1 + drift[None, :]
+        # Halves of a 0->5 ramp differ by ~2.5 while each half still drifts
+        # ~2.5 internally, so R-hat lands near 2 — far above the ~1.01
+        # convergence rule either way.
+        assert split_r_hat(chains) > 1.5
+
+    def test_single_chain_is_supported(self, rng):
+        assert split_r_hat(rng.normal(size=2000)) == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_chains_converged(self):
+        assert split_r_hat(np.ones((3, 100))) == 1.0
+
+    def test_nan_propagates(self, rng):
+        chains = rng.normal(size=(2, 100))
+        chains[0, 3] = np.nan
+        assert np.isnan(split_r_hat(chains))
+
+    def test_rejects_short_chains(self, rng):
+        with pytest.raises(InferenceError):
+            split_r_hat(rng.normal(size=(2, 3)))
+
+
+class TestMultiChainESS:
+    def test_iid_chains_ess_near_total(self, rng):
+        m, n = 4, 2000
+        ess = multichain_ess(rng.normal(size=(m, n)))
+        assert 0.7 * m * n < ess <= m * n
+
+    def test_ar1_matches_theory(self, rng):
+        phi = 0.8
+        m, n = 4, 20000
+        chains = _ar1_chains(rng, m, n, phi)
+        tau = (1 + phi) / (1 - phi)  # = 9
+        ess = multichain_ess(chains)
+        assert ess == pytest.approx(m * n / tau, rel=0.25)
+
+    def test_scales_with_chain_count_vs_single_chain(self, rng):
+        """m well-mixed chains carry ~m times one chain's ESS."""
+        phi = 0.6
+        m, n = 4, 8000
+        chains = _ar1_chains(rng, m, n, phi)
+        singles = [effective_sample_size(c) for c in chains]
+        combined = multichain_ess(chains)
+        assert combined == pytest.approx(sum(singles), rel=0.3)
+
+    def test_disagreeing_chains_have_tiny_ess(self, rng):
+        chains = rng.normal(size=(4, 1000)) + np.arange(4)[:, None] * 10.0
+        # Between-chain variance dominates: ESS collapses toward m.
+        assert multichain_ess(chains) < 50.0
+
+    def test_constant_chains(self):
+        assert multichain_ess(np.ones((2, 100))) == 200.0
+
+    def test_nan_propagates(self, rng):
+        chains = rng.normal(size=(2, 100))
+        chains[1, 0] = np.inf
+        assert np.isnan(multichain_ess(chains))
 
 
 class TestOnRealChains:

@@ -75,6 +75,91 @@ class TestMechanics:
         state.validate()
 
 
+class TestBlanketCache:
+    """The cached sweep must reproduce the uncached one draw for draw."""
+
+    @staticmethod
+    def _pair(sim, fraction=0.2, seed=9, **cached_kwargs):
+        trace = TaskSampling(fraction=fraction).observe(sim.events, random_state=seed)
+        rates = sim.true_rates()
+        ref = GibbsSampler(
+            trace, heuristic_initialize(trace, rates), rates,
+            random_state=seed, cache_blankets=False,
+        )
+        cached = GibbsSampler(
+            trace, heuristic_initialize(trace, rates), rates,
+            random_state=seed, cache_blankets=True, **cached_kwargs,
+        )
+        return ref, cached
+
+    def test_cached_sweep_bitwise_identical(self, tandem_sim):
+        ref, cached = self._pair(tandem_sim)
+        for _ in range(8):
+            s_ref, s_cached = ref.sweep(), cached.sweep()
+            assert (s_ref.n_moves, s_ref.n_skipped) == (
+                s_cached.n_moves, s_cached.n_skipped
+            )
+        np.testing.assert_array_equal(ref.state.arrival, cached.state.arrival)
+        np.testing.assert_array_equal(ref.state.departure, cached.state.departure)
+
+    def test_cached_sweep_bitwise_identical_three_tier(self, three_tier_sim):
+        ref, cached = self._pair(three_tier_sim, fraction=0.15, seed=13)
+        ref.run(5)
+        cached.run(5)
+        np.testing.assert_array_equal(ref.state.arrival, cached.state.arrival)
+        np.testing.assert_array_equal(ref.state.departure, cached.state.departure)
+
+    def test_cached_sweep_identical_after_rate_update(self, tandem_sim):
+        """set_rates must refresh the cached per-move rate lookups."""
+        ref, cached = self._pair(tandem_sim)
+        new_rates = tandem_sim.true_rates() * 1.7
+        for sampler in (ref, cached):
+            sampler.run(2)
+            sampler.set_rates(new_rates)
+            sampler.run(3)
+        np.testing.assert_array_equal(ref.state.arrival, cached.state.arrival)
+        np.testing.assert_array_equal(ref.state.departure, cached.state.departure)
+
+    def test_batched_draws_deterministic_and_valid(self, tandem_sim):
+        _, a = self._pair(tandem_sim, batch_draws=True)
+        _, b = self._pair(tandem_sim, batch_draws=True)
+        a.run(6)
+        b.run(6)
+        np.testing.assert_array_equal(a.state.arrival, b.state.arrival)
+        a.state.validate()
+
+    def test_cache_rebuilds_after_queue_reassignment(self, three_tier_sim):
+        """Interleaved path-MH moves must invalidate the blanket cache."""
+        trace = TaskSampling(fraction=0.15).observe(
+            three_tier_sim.events, random_state=13
+        )
+        rates = three_tier_sim.true_rates()
+        state = heuristic_initialize(trace, rates)
+        sampler = GibbsSampler(trace, state, rates, random_state=13)
+        sampler.sweep()
+        version = state.structure_version
+        # Move one latent event to a sibling queue of its tier, as the
+        # path resampler would.
+        tier2 = [
+            e for e in trace.latent_arrival_events
+            if 2 <= int(state.queue[e]) <= 3
+        ]
+        moved = False
+        for e in map(int, tier2):
+            target = 3 if int(state.queue[e]) == 2 else 2
+            old = int(state.queue[e])
+            state.reassign_queue(e, target)
+            if state.is_valid():
+                moved = True
+                break
+            state.reassign_queue(e, old)  # reject, as the path MH would
+        assert moved
+        assert state.structure_version > version
+        sampler.sweep()
+        state.validate()
+        assert sampler._arrival_cache.structure_version == state.structure_version
+
+
 class TestCollect:
     def test_shapes(self, tandem_sim):
         sampler, _ = make_sampler(tandem_sim)

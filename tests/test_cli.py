@@ -54,6 +54,24 @@ class TestInfer:
         assert "bottleneck ranking" in text
         assert "verdict" in text
 
+    def test_infer_multichain(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "60",
+            "--arrival-rate", "4", "--service-rate", "8",
+            "--servers", "1", "2", "--seed", "3", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "infer", str(out), "--observe", "0.3", "--iterations", "15",
+            "--seed", "0", "--chains", "3",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "split-Rhat" in text
+        assert "3 chains" in text
+        assert "bottleneck ranking" in text
+
 
 class TestArgumentErrors:
     def test_requires_subcommand(self):

@@ -13,6 +13,24 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--kernel",
+        action="store",
+        default="array",
+        choices=("array", "object", "both"),
+        help="Gibbs sweep engine the benchmarks exercise; 'both' also runs "
+        "the array-vs-object comparison (which fails if the array kernel "
+        "is not faster)",
+    )
+
+
+@pytest.fixture(scope="session")
+def kernel_mode(request) -> str:
+    """The --kernel option: 'array', 'object', or 'both'."""
+    return request.config.getoption("--kernel")
+
+
 def full_scale() -> bool:
     """Whether to run at the paper's full experimental scale."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")

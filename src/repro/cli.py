@@ -79,6 +79,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the posterior chains (default: serial; "
         "results are identical at any worker count)",
     )
+    inf.add_argument(
+        "--kernel", choices=["array", "object"], default="array",
+        help="Gibbs sweep engine: 'array' (vectorized conflict-free "
+        "batches, the fast default) or 'object' (the per-move scalar "
+        "reference path)",
+    )
+    inf.add_argument(
+        "--persistent-workers", type=int, default=None,
+        help="fan StEM E-step chains out over this many persistent worker "
+        "processes that keep chain state resident across EM iterations "
+        "(default: serial in-process; results are bitwise identical at "
+        "any worker count)",
+    )
 
     exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
     exp.add_argument("which", choices=["fig4", "fig5", "variance"])
@@ -122,15 +135,24 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             "pass --chains K to fan out",
             file=sys.stderr,
         )
+    if args.persistent_workers is not None and args.persistent_workers < 1:
+        raise SystemExit("--persistent-workers must be at least 1")
+    if args.persistent_workers and args.chains == 1:
+        print(
+            "note: --persistent-workers with a single chain moves the one "
+            "E-step chain into a worker process (no speedup expected)",
+            file=sys.stderr,
+        )
     stem = run_stem(
         trace, n_iterations=args.iterations, random_state=args.seed,
-        init_method="heuristic", n_chains=args.chains,
+        init_method="heuristic", n_chains=args.chains, kernel=args.kernel,
+        persistent_workers=args.persistent_workers,
     )
     print(f"\nestimated arrival rate lambda = {stem.arrival_rate:.4g}")
     if args.chains > 1:
         multi = MultiChainSampler(
             trace, rates=stem.rates, n_chains=args.chains,
-            random_state=args.seed + 1,
+            random_state=args.seed + 1, kernel=args.kernel,
         ).collect(n_samples=25, thin=1, burn_in=10, workers=args.workers)
         posterior = PosteriorSummary.from_samples(stem.rates, multi.pooled())
         r_hat = multi.split_r_hat("waiting")
@@ -149,6 +171,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         posterior = estimate_posterior(
             trace, rates=stem.rates, n_samples=25, burn_in=10,
             state=stem.sampler.state, random_state=args.seed + 1,
+            kernel=args.kernel,
         )
         rows = [
             (q, f"{stem.rates[q]:.4g}", f"{1.0 / stem.rates[q]:.4g}",

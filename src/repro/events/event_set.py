@@ -385,6 +385,34 @@ class EventSet:
             )
         self.departure[e] = t
 
+    def set_arrivals(self, events: np.ndarray, times: np.ndarray) -> None:
+        """Vectorized :meth:`set_arrival` over distinct non-initial events.
+
+        Used by the array sweep kernel to apply one conflict-free batch of
+        arrival moves in two scatter writes while preserving the
+        ``a_e = d_{pi(e)}`` identity.
+        """
+        events = np.asarray(events, dtype=np.int64)
+        preds = self.pi[events]
+        if np.any(preds < 0):
+            bad = events[preds < 0][:5]
+            raise InvalidEventSetError(
+                f"initial events have pinned arrivals (events {bad} ...)"
+            )
+        self.arrival[events] = times
+        self.departure[preds] = times
+
+    def set_final_departures(self, events: np.ndarray, times: np.ndarray) -> None:
+        """Vectorized :meth:`set_final_departure` over task-final events."""
+        events = np.asarray(events, dtype=np.int64)
+        if np.any(self.pi_inv[events] != -1):
+            bad = events[self.pi_inv[events] != -1][:5]
+            raise InvalidEventSetError(
+                f"events {bad} ... are not the last of their tasks; their "
+                "departures equal successor arrivals — move those instead"
+            )
+        self.departure[events] = times
+
     def reassign_queue(self, e: int, q_new: int) -> None:
         """Move event *e* to a different queue (unknown-path resampling).
 

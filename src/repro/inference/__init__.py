@@ -15,8 +15,14 @@ Layout
   :mod:`repro.inference.mcem` — parameter estimation (paper Section 4).
 * :mod:`repro.inference.posterior` — posterior summaries of service and
   waiting times with fixed parameters.
+* :mod:`repro.inference.kernel` — the array-native vectorized sweep
+  engine (conflict-free move batches, numpy log-mass and inverse-CDF
+  kernels); selected with ``GibbsSampler(kernel="array")``, the default.
 * :mod:`repro.inference.chains` — parallel multi-chain runs from
   over-dispersed starts, with cross-chain convergence diagnostics.
+* :mod:`repro.inference.pool` — persistent worker processes holding warm
+  E-step chains across StEM/MCEM iterations (only rate vectors and
+  sufficient statistics cross the process boundary).
 * :mod:`repro.inference.diagnostics` — MCMC convergence diagnostics
   (within-chain and cross-chain).
 """
@@ -43,11 +49,18 @@ from repro.inference.diagnostics import (
     multichain_ess,
     split_r_hat,
 )
-from repro.inference.gibbs import GibbsSampler, PosteriorSamples
+from repro.inference.gibbs import KERNELS, GibbsSampler, PosteriorSamples
 from repro.inference.init_heuristic import heuristic_initialize, initial_rates_from_observed
 from repro.inference.init_lp import lp_initialize
+from repro.inference.kernel import ArraySweepKernel, color_conflict_free_batches
 from repro.inference.mcem import MCEMResult, run_mcem
-from repro.inference.mstep import mle_rates, mle_rates_pooled
+from repro.inference.mstep import mle_rates, mle_rates_from_stats, mle_rates_pooled
+from repro.inference.pool import (
+    ChainRecipe,
+    PersistentChainPool,
+    build_chain_sampler,
+    chain_recipes,
+)
 from repro.inference.paths_mh import (
     PathResampler,
     PathSweepStats,
@@ -68,6 +81,13 @@ __all__ = [
     "markov_blanket",
     "GibbsSampler",
     "PosteriorSamples",
+    "KERNELS",
+    "ArraySweepKernel",
+    "color_conflict_free_batches",
+    "ChainRecipe",
+    "PersistentChainPool",
+    "build_chain_sampler",
+    "chain_recipes",
     "ChainSpec",
     "MultiChainPosterior",
     "MultiChainSampler",
@@ -76,6 +96,7 @@ __all__ = [
     "lp_initialize",
     "initial_rates_from_observed",
     "mle_rates",
+    "mle_rates_from_stats",
     "mle_rates_pooled",
     "PathResampler",
     "PathSweepStats",

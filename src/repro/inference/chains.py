@@ -94,6 +94,7 @@ class ChainSpec:
     burn_in: int
     shuffle: bool
     batch_draws: bool
+    kernel: str = "array"
 
 
 def _initialize_chain(spec: ChainSpec):
@@ -124,6 +125,7 @@ def run_chain(spec: ChainSpec) -> PosteriorSamples:
         random_state=spec.sweep_seed,
         shuffle=spec.shuffle,
         batch_draws=spec.batch_draws,
+        kernel=spec.kernel,
     )
     return sampler.collect(
         n_samples=spec.n_samples, thin=spec.thin, burn_in=spec.burn_in
@@ -155,6 +157,9 @@ class MultiChainSampler:
         Passed to every :class:`~repro.inference.gibbs.GibbsSampler`;
         batched draws default on here because the multi-chain stream has
         no historical single-chain run to stay bit-compatible with.
+    kernel:
+        Sweep engine for every chain (see
+        :class:`~repro.inference.gibbs.GibbsSampler`).
     """
 
     def __init__(
@@ -167,6 +172,7 @@ class MultiChainSampler:
         lp_size_limit: int = 6000,
         shuffle: bool = True,
         batch_draws: bool = True,
+        kernel: str = "array",
     ) -> None:
         if n_chains < 1:
             raise InferenceError(f"need at least one chain, got {n_chains}")
@@ -180,6 +186,7 @@ class MultiChainSampler:
         self.jitter = float(jitter)
         self.shuffle = shuffle
         self.batch_draws = batch_draws
+        self.kernel = kernel
         self.seed_pairs = chain_seed_sequences(random_state, self.n_chains)
         self.init_methods = [
             self._init_method_for(k, trace.skeleton.n_events, lp_size_limit)
@@ -212,6 +219,7 @@ class MultiChainSampler:
                 burn_in=burn_in,
                 shuffle=self.shuffle,
                 batch_draws=self.batch_draws,
+                kernel=self.kernel,
             )
             for k, (init_seed, sweep_seed) in enumerate(self.seed_pairs)
         ]

@@ -215,6 +215,10 @@ class ArrivalBlanketCache:
 
     ``mu_e`` / ``mu_pi`` are the per-move rate lookups; they depend on the
     current rate vector and are refreshed by :meth:`refresh_rates`.
+
+    The array sweep engine (:class:`~repro.inference.kernel.ArraySweepKernel`)
+    builds its int64 index columns directly from this cache, so both sweep
+    kernels share a single blanket-extraction pass.
     """
 
     __slots__ = (

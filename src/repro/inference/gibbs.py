@@ -15,7 +15,19 @@ The cost of a sweep is linear in the number of latent variables and
 independent of the number of queues — the scaling property the paper calls
 out in Section 5.2 and that ``benchmarks/bench_scaling.py`` measures.
 
-Two sweep-speed optimizations are available and on by default:
+Sweeps run on one of two engines, selected by the ``kernel`` argument:
+
+* ``kernel="array"`` (default): the vectorized
+  :class:`~repro.inference.kernel.ArraySweepKernel`.  Moves are partitioned
+  once into conflict-free batches (no move writes a time another move in
+  the batch reads), and each batch's conditionals are built, normalized and
+  inverse-CDF sampled with numpy array kernels — no per-move Python object
+  allocation.  The scan remains sequential across batches, so every draw is
+  exact; only the random stream differs from the object kernel.
+* ``kernel="object"``: the reference per-move scalar path, with the
+  optimizations below.
+
+Two object-kernel sweep-speed optimizations are available and on by default:
 
 * **blanket caching** (``cache_blankets=True``): the static neighbor
   indices of every move's Markov blanket are extracted once at
@@ -50,8 +62,12 @@ from repro.inference.conditional import (
     final_departure_conditional,
     final_departure_conditional_cached,
 )
+from repro.inference.kernel import ArraySweepKernel
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_generator
+
+#: Sweep engines a :class:`GibbsSampler` can run on.
+KERNELS = ("array", "object")
 
 
 @contextmanager
@@ -101,9 +117,20 @@ class GibbsSampler:
     cache_blankets:
         Precompute the static Markov-blanket indices of every move (see
         module docstring).  Draw-for-draw identical to the uncached sweep.
+        Only meaningful for ``kernel="object"``.
     batch_draws:
         Pre-draw each sweep's uniforms in one generator call (implies the
         blanket cache; changes the random stream — see module docstring).
+        Only meaningful for ``kernel="object"``.
+    kernel:
+        ``"array"`` (default) runs sweeps on the vectorized
+        :class:`~repro.inference.kernel.ArraySweepKernel`: moves are
+        partitioned into conflict-free batches and each batch's
+        conditionals are built and inverted with numpy kernels.  The scan
+        stays sequential (batch concatenation order, shuffled per sweep
+        when *shuffle* is set), so the draws are exact; the random stream
+        differs from the object kernel, so results agree statistically,
+        not bitwise.  ``"object"`` is the reference per-move scalar path.
     """
 
     def __init__(
@@ -115,6 +142,7 @@ class GibbsSampler:
         shuffle: bool = True,
         cache_blankets: bool = True,
         batch_draws: bool = False,
+        kernel: str = "array",
     ) -> None:
         self.trace = trace
         self.state = state
@@ -127,7 +155,13 @@ class GibbsSampler:
             raise InferenceError("all rates must be positive and finite")
         self.rng = as_generator(random_state)
         self.shuffle = shuffle
-        self.cache_blankets = bool(cache_blankets) or bool(batch_draws)
+        if kernel not in KERNELS:
+            raise InferenceError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        self.kernel = kernel
+        # The array kernel is built on top of the blanket caches.
+        self.cache_blankets = (
+            bool(cache_blankets) or bool(batch_draws) or kernel == "array"
+        )
         self.batch_draws = bool(batch_draws)
         self._arrival_moves = trace.latent_arrival_events.copy()
         self._departure_moves = trace.latent_departure_events.copy()
@@ -139,6 +173,7 @@ class GibbsSampler:
             )
         self._arrival_cache: ArrivalBlanketCache | None = None
         self._departure_cache: DepartureBlanketCache | None = None
+        self._array_kernel: ArraySweepKernel | None = None
         if self.cache_blankets:
             self.rebuild_blanket_cache()
         self.n_sweeps_done = 0
@@ -164,6 +199,8 @@ class GibbsSampler:
             self._arrival_cache.refresh_rates(self.state, self._rates)
         if self._departure_cache is not None:
             self._departure_cache.refresh_rates(self.state, self._rates)
+        if self._array_kernel is not None:
+            self._array_kernel.refresh_rates(self._rates)
 
     @property
     def n_latent(self) -> int:
@@ -187,6 +224,10 @@ class GibbsSampler:
         self._departure_cache = DepartureBlanketCache(
             self.state, self._departure_moves, self._rates
         )
+        if self.kernel == "array":
+            self._array_kernel = ArraySweepKernel(
+                self.state, self._arrival_cache, self._departure_cache, self._rates
+            )
 
     def _fresh_caches(self) -> tuple[ArrivalBlanketCache, DepartureBlanketCache]:
         if (
@@ -202,12 +243,22 @@ class GibbsSampler:
 
     def sweep(self) -> SweepStats:
         """Resample every latent variable once; returns move statistics."""
-        if self.cache_blankets:
+        if self.kernel == "array":
+            stats = self._sweep_array()
+        elif self.cache_blankets:
             stats = self._sweep_cached()
         else:
             stats = self._sweep_reference()
         self.n_sweeps_done += 1
         return stats
+
+    def _sweep_array(self) -> SweepStats:
+        """One sweep on the vectorized array kernel."""
+        self._fresh_caches()
+        n_moves, n_skipped = self._array_kernel.sweep(
+            self.state, self.rng, shuffle=self.shuffle
+        )
+        return SweepStats(n_moves=n_moves, n_skipped=n_skipped)
 
     def _sweep_reference(self) -> SweepStats:
         """The uncached sweep: derive every blanket from the event set."""

@@ -20,7 +20,11 @@ import numpy as np
 from repro.errors import InferenceError
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import initial_rates_from_observed
-from repro.inference.stem import _build_chain_samplers
+from repro.inference.pool import (
+    PersistentChainPool,
+    build_chain_sampler,
+    chain_recipes,
+)
 from repro.observation import ObservedTrace
 from repro.rng import RandomState
 
@@ -66,6 +70,8 @@ def run_mcem(
     random_state: RandomState = None,
     n_chains: int = 1,
     jitter: float = 0.15,
+    kernel: str = "array",
+    persistent_workers: int | None = None,
 ) -> MCEMResult:
     """Estimate rates by Monte-Carlo EM.
 
@@ -93,6 +99,15 @@ def run_mcem(
         Parallel E-step chains with jittered over-dispersed starts, as in
         :func:`~repro.inference.stem.run_stem`; ``n_chains=1`` reproduces
         the historical single-chain stream exactly.
+    kernel:
+        Sweep engine for every E-step chain (see
+        :class:`~repro.inference.gibbs.GibbsSampler`).
+    persistent_workers:
+        As in :func:`~repro.inference.stem.run_stem`: fan the E-step
+        chains out over persistent worker processes that keep chain state
+        resident across EM iterations, shipping only rate vectors and
+        per-sweep sufficient statistics.  Bitwise identical to the serial
+        run at any worker count.
     """
     if n_iterations < 1 or e_sweeps < 1 or e_burn_in < 0:
         raise InferenceError("need n_iterations >= 1, e_sweeps >= 1, e_burn_in >= 0")
@@ -105,32 +120,51 @@ def run_mcem(
         if initial_rates is not None
         else initial_rates_from_observed(trace)
     )
-    samplers = _build_chain_samplers(
-        trace, rates, init_method, n_chains, jitter, random_state, shuffle=True
+    recipes = chain_recipes(
+        trace, rates, init_method, n_chains, jitter, random_state,
+        shuffle=True, kernel=kernel,
     )
-    counts = samplers[0].state.events_per_queue().astype(float)
+    counts = trace.skeleton.events_per_queue().astype(float)
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
     history[0] = rates
     total_sweeps = 0
     sweeps = float(e_sweeps)
-    for it in range(1, n_iterations + 1):
-        n_keep = max(1, int(round(sweeps)))
-        acc = np.zeros(trace.skeleton.n_queues)
-        for sampler in samplers:
-            sampler.run(e_burn_in)
-            total_sweeps += e_burn_in
-            for _ in range(n_keep):
-                sampler.sweep()
-                acc += sampler.state.total_service_by_queue()
-            total_sweeps += n_keep
-        expected_totals = acc / (n_keep * len(samplers))
-        with np.errstate(divide="ignore"):
-            rates = counts / np.maximum(expected_totals, 1e-300)
-        rates = np.clip(rates, 1e-9, 1e12)
-        for sampler in samplers:
-            sampler.set_rates(rates)
-        history[it] = rates
-        sweeps *= growth
+    if persistent_workers:
+        with PersistentChainPool(recipes, workers=persistent_workers) as pool:
+            for it in range(1, n_iterations + 1):
+                n_keep = max(1, int(round(sweeps)))
+                kept = pool.step(
+                    rates, burn_in=e_burn_in, n_keep=n_keep, accumulate=True
+                )
+                total_sweeps += n_chains * (e_burn_in + n_keep)
+                # Accumulate in exact serial order (chain-major, then
+                # sweep) so the reduction is bitwise identical to the
+                # in-process loop below.
+                acc = np.zeros(trace.skeleton.n_queues)
+                for chain_kept in kept:
+                    for row in chain_kept:
+                        acc += row
+                rates = _mcem_m_step(counts, acc, n_keep * n_chains)
+                history[it] = rates
+                sweeps *= growth
+            samplers = pool.finish(rates)
+    else:
+        samplers = [build_chain_sampler(recipe) for recipe in recipes]
+        for it in range(1, n_iterations + 1):
+            n_keep = max(1, int(round(sweeps)))
+            acc = np.zeros(trace.skeleton.n_queues)
+            for sampler in samplers:
+                sampler.run(e_burn_in)
+                total_sweeps += e_burn_in
+                for _ in range(n_keep):
+                    sampler.sweep()
+                    acc += sampler.state.total_service_by_queue()
+                total_sweeps += n_keep
+            rates = _mcem_m_step(counts, acc, n_keep * len(samplers))
+            for sampler in samplers:
+                sampler.set_rates(rates)
+            history[it] = rates
+            sweeps *= growth
     return MCEMResult(
         rates=rates,
         rates_history=history,
@@ -138,3 +172,11 @@ def run_mcem(
         total_sweeps=total_sweeps,
         samplers=samplers,
     )
+
+
+def _mcem_m_step(counts: np.ndarray, acc: np.ndarray, n_imputations: int) -> np.ndarray:
+    """Closed-form M-step on E-step-averaged sufficient statistics."""
+    expected_totals = acc / n_imputations
+    with np.errstate(divide="ignore"):
+        rates = counts / np.maximum(expected_totals, 1e-300)
+    return np.clip(rates, 1e-9, 1e12)

@@ -76,6 +76,70 @@ def mle_rates(
     return np.clip(rates, min_rate, max_rate)
 
 
+def chain_service_totals(events: EventSet) -> np.ndarray:
+    """Per-queue total service of one chain — the E-step sufficient statistic.
+
+    The single source of the clamp-then-scatter-add arithmetic shared by
+    :func:`mle_rates_pooled` (in-process chains) and the persistent-worker
+    E-steps of :mod:`repro.inference.pool` (whose workers ship exactly this
+    vector back to the master), keeping the two paths bitwise aligned.
+
+    Raises
+    ------
+    InferenceError
+        If any service time is negative (the chain state is infeasible).
+    """
+    services = events.service_times()
+    if np.any(services < -1e-9):
+        raise InferenceError(
+            f"cannot pool statistics of an infeasible event set "
+            f"(min service {services.min():.3e})"
+        )
+    totals = np.zeros(events.n_queues)
+    np.add.at(totals, events.queue, np.maximum(services, 0.0))
+    return totals
+
+
+def mle_rates_from_stats(
+    counts: np.ndarray,
+    totals,
+    min_rate: float = 1e-9,
+    max_rate: float = 1e12,
+) -> np.ndarray:
+    """M-step from pre-computed sufficient statistics.
+
+    This is the statistic-level core shared by :func:`mle_rates_pooled`
+    (which derives the totals from in-process event sets) and the
+    persistent-worker E-steps of :mod:`repro.inference.pool` (whose workers
+    ship only per-queue total-service vectors back to the master).  Totals
+    are accumulated in the given chain order and divided by the chain
+    count, so the result is bitwise identical to the in-process pooling.
+
+    Parameters
+    ----------
+    counts:
+        Shared per-queue event counts (identical across chains — every
+        chain imputes the same trace).
+    totals:
+        One per-queue total-service vector per chain, in chain order.
+    min_rate / max_rate:
+        Degenerate-sweep clamps, as in :func:`mle_rates`.
+    """
+    totals = list(totals)
+    if not totals:
+        raise InferenceError("need at least one chain's statistics to pool")
+    counts = np.asarray(counts, dtype=float)
+    pooled = np.zeros_like(counts)
+    for chain_totals in totals:
+        pooled += np.asarray(chain_totals, dtype=float)
+    pooled /= len(totals)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = counts / pooled
+    rates[~np.isfinite(rates)] = max_rate
+    rates[counts == 0.0] = min_rate
+    return np.clip(rates, min_rate, max_rate)
+
+
 def mle_rates_pooled(
     event_sets,
     min_rate: float = 1e-9,
@@ -100,18 +164,9 @@ def mle_rates_pooled(
     if not event_sets:
         raise InferenceError("need at least one event set to pool")
     counts = event_sets[0].events_per_queue().astype(float)
-    totals = np.zeros(event_sets[0].n_queues)
-    for events in event_sets:
-        services = events.service_times()
-        if np.any(services < -1e-9):
-            raise InferenceError(
-                f"cannot take an M-step on an infeasible event set "
-                f"(min service {services.min():.3e})"
-            )
-        np.add.at(totals, events.queue, np.maximum(services, 0.0))
-    totals /= len(event_sets)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        rates = counts / totals
-    rates[~np.isfinite(rates)] = max_rate
-    rates[counts == 0.0] = min_rate
-    return np.clip(rates, min_rate, max_rate)
+    return mle_rates_from_stats(
+        counts,
+        [chain_service_totals(events) for events in event_sets],
+        min_rate=min_rate,
+        max_rate=max_rate,
+    )

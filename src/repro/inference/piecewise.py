@@ -37,6 +37,14 @@ def _log_integral_exp(slope: float, width: float) -> float:
     for ``slope > 0`` the integral is written ``exp(slope*width) *
     (1 - exp(-slope*width)) / slope`` so only the log of the leading factor
     grows.
+
+    This is the scalar *reference* implementation; :func:`log_integral_exp`
+    is the vectorized equivalent used by the array sweep kernel.  The two
+    share ``_FLAT_EPS`` and branch on exactly the same ``slope * width``
+    product, so they take the same branch on every input and agree to within
+    one ulp everywhere — bitwise at the flat transition, where both reduce
+    to ``log(width)`` — which ``tests/inference/test_piecewise_properties.py``
+    pins down.
     """
     if width <= 0.0:
         return -math.inf
@@ -50,6 +58,44 @@ def _log_integral_exp(slope: float, width: float) -> float:
     if slope > 0.0:
         return z + math.log(-math.expm1(-z)) - math.log(slope)
     return math.log(-math.expm1(z)) - math.log(-slope)
+
+
+def log_integral_exp(slopes: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_log_integral_exp` over parallel slope/width arrays.
+
+    Zero (or negative) widths yield ``-inf``; infinite widths require a
+    strictly negative slope and yield ``-log(-slope)``.  Every branch uses
+    the same formulas and the same ``_FLAT_EPS`` threshold on the same
+    ``slope * width`` product as the scalar reference, so the two
+    implementations agree bitwise elementwise.
+    """
+    slopes = np.asarray(slopes, dtype=float)
+    widths = np.asarray(widths, dtype=float)
+    slopes, widths = np.broadcast_arrays(slopes, widths)
+    unbounded = np.isinf(widths) & (widths > 0.0)
+    if np.any(unbounded & (slopes >= 0.0)):
+        raise InferenceError("unbounded piece needs a strictly negative slope")
+    out = np.full(slopes.shape, -np.inf)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        z = slopes * widths
+        positive = widths > 0.0
+        bounded = positive & ~unbounded
+        flat = bounded & (np.abs(z) < _FLAT_EPS)
+        rising = bounded & ~flat & (slopes > 0.0)
+        falling = bounded & ~flat & (slopes <= 0.0)
+        np.copyto(out, np.log(widths), where=flat)
+        np.copyto(
+            out,
+            z + np.log(-np.expm1(-z)) - np.log(slopes),
+            where=rising,
+        )
+        np.copyto(
+            out,
+            np.log(-np.expm1(z)) - np.log(-slopes),
+            where=falling,
+        )
+        np.copyto(out, -np.log(-slopes), where=unbounded)
+    return out
 
 
 class PiecewiseExponential:
@@ -185,6 +231,64 @@ class PiecewiseExponential:
                 return i
         return len(self.slopes) - 1
 
+    def ppf(self, q: float) -> float:
+        """Exact quantile function (inverse of :meth:`cdf`) on ``[0, 1]``.
+
+        Selects the piece containing probability mass *q* and inverts the
+        truncated-exponential CDF inside it — the deterministic counterpart
+        of :meth:`sample_uv` (which splits the same computation across two
+        uniforms).  For an unbounded final piece the tail quantile is
+        inverted analytically.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InferenceError(f"quantile must lie in [0, 1], got {q}")
+        if q <= 0.0:
+            return self.knots[0]
+        if q >= 1.0 and math.isfinite(self.knots[-1]):
+            return self.knots[-1]
+        probs = self.piece_probabilities()
+        # Default to the last piece so that q landing in the float gap
+        # between sum(probs) and 1.0 maps to the far tail (v ~ 1), with
+        # acc never including the selected piece's own mass.
+        i = len(probs) - 1
+        acc = 0.0
+        for j, p in enumerate(probs[:-1]):
+            if q <= acc + p:
+                i = j
+                break
+            acc += p
+        p = probs[i]
+        v = min((q - acc) / p, 1.0) if p > 0.0 else 0.0
+        lo, hi = self.knots[i], self.knots[i + 1]
+        if math.isinf(hi):
+            # Exponential tail with rate -c: invert 1 - exp(c (x - lo)).
+            if v >= 1.0:
+                return math.inf
+            return lo - math.log1p(-v) / (-self.slopes[i])
+        c = self.slopes[i]
+        z = c * (hi - lo)
+        if abs(z) < _FLAT_EPS or c <= 0.0:
+            return self._invert_piece(i, v)
+        # Rising piece: _invert_piece measures from the right edge (the
+        # mirror convention of :meth:`sample_uv`), so pass the complement.
+        return self._invert_piece(i, 1.0 - v)
+
+    def _invert_piece(self, i: int, v: float) -> float:
+        """Invert the within-piece CDF of finite piece *i* at ``v in [0, 1]``."""
+        lo, hi = self.knots[i], self.knots[i + 1]
+        c = self.slopes[i]
+        width = hi - lo
+        z = c * width
+        if abs(z) < _FLAT_EPS:
+            return lo + v * width
+        if c < 0.0:
+            # Decreasing piece: truncated exponential from the left edge.
+            x = -math.log1p(-v * -math.expm1(z)) / (-c)
+            return min(lo + x, hi)
+        # Increasing piece: mirror image from the right edge.
+        x = -math.log1p(-v * -math.expm1(-z)) / c
+        return max(hi - x, lo)
+
     # ------------------------------------------------------------------
     # Sampling (the paper's Figure 3, generalized).
     # ------------------------------------------------------------------
@@ -218,18 +322,7 @@ class PiecewiseExponential:
             acc += p
             if u <= acc:
                 break
-        lo, hi = self.knots[i], self.knots[i + 1]
-        c = self.slopes[i]
-        if math.isinf(hi):
-            return lo + as_generator(random_state).exponential(1.0 / (-c))
-        width = hi - lo
-        z = c * width
-        if abs(z) < _FLAT_EPS:
-            return lo + v * width
-        if c < 0.0:
-            # Decreasing piece: truncated exponential from the left edge.
-            x = -math.log1p(-v * -math.expm1(z)) / (-c)
-            return min(lo + x, hi)
-        # Increasing piece: mirror image from the right edge.
-        x = -math.log1p(-v * -math.expm1(-z)) / c
-        return max(hi - x, lo)
+        if math.isinf(self.knots[i + 1]):
+            c = self.slopes[i]
+            return self.knots[i] + as_generator(random_state).exponential(1.0 / (-c))
+        return self._invert_piece(i, v)

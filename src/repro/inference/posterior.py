@@ -75,6 +75,7 @@ def estimate_posterior(
     init_method: str = "auto",
     state=None,
     random_state: RandomState = None,
+    kernel: str = "array",
 ) -> PosteriorSummary:
     """Run the Gibbs sampler at fixed rates and summarize the posterior.
 
@@ -94,6 +95,8 @@ def estimate_posterior(
         Optional pre-initialized (e.g. warm) event set; mutated in place.
     random_state:
         Seed or generator.
+    kernel:
+        Sweep engine (see :class:`~repro.inference.gibbs.GibbsSampler`).
     """
     rng = as_generator(random_state)
     if rates is None:
@@ -101,6 +104,6 @@ def estimate_posterior(
     rates = np.asarray(rates, dtype=float)
     if state is None:
         state = initialize_state(trace, rates, method=init_method)
-    sampler = GibbsSampler(trace, state, rates, random_state=rng)
+    sampler = GibbsSampler(trace, state, rates, random_state=rng, kernel=kernel)
     samples = sampler.collect(n_samples=n_samples, thin=thin, burn_in=burn_in)
     return PosteriorSummary.from_samples(rates, samples)

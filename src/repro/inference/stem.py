@@ -19,14 +19,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import InferenceError
-from repro.events import EventSet
-from repro.inference.chains import chain_seed_sequences, jittered_rates
 from repro.inference.gibbs import GibbsSampler
-from repro.inference.init_heuristic import heuristic_initialize, initial_rates_from_observed
-from repro.inference.init_lp import lp_initialize
-from repro.inference.mstep import mle_rates, mle_rates_pooled
+from repro.inference.init_heuristic import initial_rates_from_observed
+from repro.inference.mstep import mle_rates, mle_rates_from_stats, mle_rates_pooled
+from repro.inference.pool import (
+    PersistentChainPool,
+    build_chain_sampler,
+    chain_recipes,
+    initialize_state,
+)
 from repro.observation import ObservedTrace
-from repro.rng import RandomState, as_generator
+from repro.rng import RandomState
+
+__all__ = ["StEMResult", "initialize_state", "run_stem"]
 
 
 @dataclass
@@ -76,27 +81,6 @@ class StEMResult:
         return self.rates_history[self.burn_in :].std(axis=0)
 
 
-def initialize_state(
-    trace: ObservedTrace,
-    rates: np.ndarray,
-    method: str = "auto",
-    lp_size_limit: int = 6000,
-) -> EventSet:
-    """Build a feasible starting state with the requested initializer.
-
-    ``method`` is ``"lp"``, ``"heuristic"``, or ``"auto"`` (LP when the
-    trace has at most *lp_size_limit* events, else the heuristic — the LP is
-    exact but its solve time grows superlinearly).
-    """
-    if method == "auto":
-        method = "lp" if trace.skeleton.n_events <= lp_size_limit else "heuristic"
-    if method == "lp":
-        return lp_initialize(trace, rates)
-    if method == "heuristic":
-        return heuristic_initialize(trace, rates)
-    raise InferenceError(f"unknown initialization method {method!r}")
-
-
 def run_stem(
     trace: ObservedTrace,
     n_iterations: int = 200,
@@ -108,6 +92,8 @@ def run_stem(
     shuffle: bool = True,
     n_chains: int = 1,
     jitter: float = 0.15,
+    kernel: str = "array",
+    persistent_workers: int | None = None,
 ) -> StEMResult:
     """Estimate ``lambda`` and all ``mu_q`` from an incomplete trace.
 
@@ -140,6 +126,17 @@ def run_stem(
         stream exactly.
     jitter:
         Log-normal sigma of the extra chains' initializer-rate jitter.
+    kernel:
+        Sweep engine for every E-step chain (see
+        :class:`~repro.inference.gibbs.GibbsSampler`).
+    persistent_workers:
+        ``None`` (default) runs the E-step chains serially in-process.  A
+        positive count fans them out over that many *persistent* worker
+        processes (:class:`~repro.inference.pool.PersistentChainPool`):
+        chains stay resident in their worker across EM iterations and only
+        rate vectors and per-queue sufficient statistics cross the process
+        boundary each round.  Results are bitwise identical to the serial
+        run at any worker count.
     """
     if n_iterations < 1:
         raise InferenceError(f"need at least one iteration, got {n_iterations}")
@@ -156,24 +153,35 @@ def run_stem(
         if initial_rates is not None
         else initial_rates_from_observed(trace)
     )
-    samplers = _build_chain_samplers(
-        trace, rates, init_method, n_chains, jitter, random_state, shuffle
+    recipes = chain_recipes(
+        trace, rates, init_method, n_chains, jitter, random_state, shuffle, kernel
     )
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
     history[0] = rates
-    for it in range(1, n_iterations + 1):
+    if persistent_workers:
+        counts = trace.skeleton.events_per_queue().astype(float)
+        with PersistentChainPool(recipes, workers=persistent_workers) as pool:
+            for it in range(1, n_iterations + 1):
+                totals = pool.step(rates, n_keep=sweeps_per_iteration)
+                rates = mle_rates_from_stats(counts, totals)
+                history[it] = rates
+            estimate = history[burn_in:].mean(axis=0)
+            samplers = pool.finish(estimate)
+    else:
+        samplers = [build_chain_sampler(recipe) for recipe in recipes]
+        for it in range(1, n_iterations + 1):
+            for sampler in samplers:
+                sampler.run(sweeps_per_iteration)
+            if len(samplers) == 1:
+                rates = mle_rates(samplers[0].state)
+            else:
+                rates = mle_rates_pooled([s.state for s in samplers])
+            for sampler in samplers:
+                sampler.set_rates(rates)
+            history[it] = rates
+        estimate = history[burn_in:].mean(axis=0)
         for sampler in samplers:
-            sampler.run(sweeps_per_iteration)
-        if len(samplers) == 1:
-            rates = mle_rates(samplers[0].state)
-        else:
-            rates = mle_rates_pooled([s.state for s in samplers])
-        for sampler in samplers:
-            sampler.set_rates(rates)
-        history[it] = rates
-    estimate = history[burn_in:].mean(axis=0)
-    for sampler in samplers:
-        sampler.set_rates(estimate)
+            sampler.set_rates(estimate)
     return StEMResult(
         rates=estimate,
         rates_history=history,
@@ -181,44 +189,3 @@ def run_stem(
         burn_in=burn_in,
         samplers=samplers,
     )
-
-
-def _build_chain_samplers(
-    trace: ObservedTrace,
-    rates: np.ndarray,
-    init_method: str,
-    n_chains: int,
-    jitter: float,
-    random_state: RandomState,
-    shuffle: bool,
-) -> list[GibbsSampler]:
-    """One warm sampler per E-step chain, over-dispersed past chain 0.
-
-    Chain 0's starting state (initialized at the given rates) and
-    generator (exactly ``as_generator(random_state)``) match the
-    historical single-chain run, so ``n_chains=1`` reproduces it
-    bit-for-bit; with more chains the pooled M-steps feed different rates
-    back, so the trajectories legitimately diverge after the first
-    iteration.  Extra chains initialize at jittered rates and sample from
-    independent seed-sequence spawns that never draw from a
-    caller-supplied generator.
-    """
-    state = initialize_state(trace, rates, method=init_method)
-    samplers = [
-        GibbsSampler(
-            trace, state, rates, random_state=as_generator(random_state),
-            shuffle=shuffle,
-        )
-    ]
-    if n_chains == 1:
-        return samplers
-    for init_seed, sweep_seed in chain_seed_sequences(random_state, n_chains)[1:]:
-        chain_state = initialize_state(
-            trace, jittered_rates(rates, jitter, init_seed), method=init_method
-        )
-        samplers.append(
-            GibbsSampler(
-                trace, chain_state, rates, random_state=sweep_seed, shuffle=shuffle
-            )
-        )
-    return samplers

@@ -56,6 +56,7 @@ def detect_anomalies(
     queues: list[int] | None = None,
     threshold: float = 4.0,
     min_history: int = 3,
+    min_scale_frac: float = 0.1,
 ) -> list[AnomalyReport]:
     """Flag service-time change points in a window series.
 
@@ -70,6 +71,14 @@ def detect_anomalies(
     min_history:
         Minimum number of earlier successful windows required before a
         window can be judged (no flags during warm-up).
+    min_scale_frac:
+        Noise floor for the z-score scale, as a fraction of the rolling
+        baseline.  The MAD of the 3-5 window estimates a short history
+        holds badly underestimates the per-window StEM noise (three nearly
+        equal estimates give a near-zero MAD), which turns ordinary
+        estimator jitter into huge z-scores; per-window estimates on tens
+        of tasks carry ~10%+ relative noise, so scales below
+        ``min_scale_frac * baseline`` are clamped up to it.
 
     Returns
     -------
@@ -78,6 +87,10 @@ def detect_anomalies(
     """
     if threshold <= 0.0:
         raise InferenceError(f"threshold must be positive, got {threshold}")
+    if min_scale_frac < 0.0:
+        raise InferenceError(
+            f"min_scale_frac must be nonnegative, got {min_scale_frac}"
+        )
     usable = [w for w in windows if w.ok]
     if not usable:
         return []
@@ -94,7 +107,11 @@ def detect_anomalies(
             if len(history) >= min_history:
                 baseline = float(np.median(history))
                 mad = float(np.median(np.abs(np.asarray(history) - baseline)))
-                scale = max(mad * _MAD_SCALE, 1e-3 * max(abs(baseline), 1e-12))
+                scale = max(
+                    mad * _MAD_SCALE,
+                    min_scale_frac * abs(baseline),
+                    1e-3 * max(abs(baseline), 1e-12),
+                )
                 z = (value - baseline) / scale
                 if abs(z) >= threshold:
                     reports.append(

@@ -80,15 +80,18 @@ class TestBlanketCache:
 
     @staticmethod
     def _pair(sim, fraction=0.2, seed=9, **cached_kwargs):
+        # kernel="object" pins the scalar reference path: the bitwise
+        # cached-vs-uncached claim is about that path, and the array kernel
+        # would make both sides trivially identical.
         trace = TaskSampling(fraction=fraction).observe(sim.events, random_state=seed)
         rates = sim.true_rates()
         ref = GibbsSampler(
             trace, heuristic_initialize(trace, rates), rates,
-            random_state=seed, cache_blankets=False,
+            random_state=seed, cache_blankets=False, kernel="object",
         )
         cached = GibbsSampler(
             trace, heuristic_initialize(trace, rates), rates,
-            random_state=seed, cache_blankets=True, **cached_kwargs,
+            random_state=seed, cache_blankets=True, kernel="object", **cached_kwargs,
         )
         return ref, cached
 

@@ -39,8 +39,10 @@ class TestPPC:
         trace = TaskSampling(fraction=0.25).observe(sim.events, random_state=4)
         stem = run_stem(trace, n_iterations=50, random_state=5, init_method="heuristic")
         fitted = net.with_rates(stem.rates)
+        # 30 replicates: with 15 the min/max band is so coarse that a
+        # within-noise change in the StEM estimate flips p-values to 0.
         return posterior_predictive_check(
-            trace, fitted, observe_fraction=0.25, n_replicates=15, random_state=6
+            trace, fitted, observe_fraction=0.25, n_replicates=30, random_state=6
         )
 
     def test_well_specified_model_passes(self, well_specified):

@@ -86,6 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "reference path)",
     )
     inf.add_argument(
+        "--shards", type=int, default=1,
+        help="partition each chain's sweep across this many task shards "
+        "(interior moves sweep per shard, only boundary events are "
+        "exchanged between super-steps; same posterior, shards=1 is the "
+        "plain kernel); combine with --persistent-workers to distribute "
+        "one chain's shards across worker processes",
+    )
+    inf.add_argument(
         "--persistent-workers", type=int, default=None,
         help="fan StEM E-step chains out over this many persistent worker "
         "processes that keep chain state resident across EM iterations "
@@ -137,6 +145,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         )
     if args.persistent_workers is not None and args.persistent_workers < 1:
         raise SystemExit("--persistent-workers must be at least 1")
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.shards > 1 and args.kernel != "array":
+        raise SystemExit("--shards requires the array kernel (drop --kernel object)")
     if args.persistent_workers and args.chains == 1:
         print(
             "note: --persistent-workers with a single chain moves the one "
@@ -146,13 +158,14 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     stem = run_stem(
         trace, n_iterations=args.iterations, random_state=args.seed,
         init_method="heuristic", n_chains=args.chains, kernel=args.kernel,
-        persistent_workers=args.persistent_workers,
+        persistent_workers=args.persistent_workers, shards=args.shards,
     )
     print(f"\nestimated arrival rate lambda = {stem.arrival_rate:.4g}")
     if args.chains > 1:
         multi = MultiChainSampler(
             trace, rates=stem.rates, n_chains=args.chains,
             random_state=args.seed + 1, kernel=args.kernel,
+            shards=args.shards,
         ).collect(n_samples=25, thin=1, burn_in=10, workers=args.workers)
         posterior = PosteriorSummary.from_samples(stem.rates, multi.pooled())
         r_hat = multi.split_r_hat("waiting")

@@ -131,6 +131,30 @@ class GibbsSampler:
         when *shuffle* is set), so the draws are exact; the random stream
         differs from the object kernel, so results agree statistically,
         not bitwise.  ``"object"`` is the reference per-move scalar path.
+    shards:
+        With ``shards > 1`` the trace's tasks are partitioned into that
+        many shards (:func:`~repro.inference.shard.partition_tasks`) and
+        each sweep runs on the
+        :class:`~repro.inference.shard.ShardedSweepEngine`: boundary
+        moves — those whose Markov blanket crosses a shard cut — are
+        resampled first by a scalar master pass, then every shard's
+        interior moves sweep on an independent array kernel.  Every move
+        still draws from its exact full conditional, so the stitched
+        chain targets the same posterior as an unsharded sweep;
+        ``shards=1`` is exactly the plain array kernel.  Requires
+        ``kernel="array"``.
+    shard_workers:
+        Only with ``shards > 1``: fan the shard sweeps out over this many
+        persistent worker processes that keep per-shard sub-traces
+        resident and exchange only boundary-event times with the master
+        each sweep.  Results are bitwise identical to the in-process
+        sharded sweep at any worker count.  While workers are attached,
+        ``state`` is only current in the boundary region; call
+        :meth:`finish_shards` to pull the full state back and detach.
+    threads:
+        Threaded batch evaluation inside every array kernel (see
+        :class:`~repro.inference.kernel.ArraySweepKernel`); draws are
+        bitwise independent of the thread count.
     """
 
     def __init__(
@@ -143,6 +167,9 @@ class GibbsSampler:
         cache_blankets: bool = True,
         batch_draws: bool = False,
         kernel: str = "array",
+        shards: int = 1,
+        shard_workers: int | None = None,
+        threads: int = 1,
     ) -> None:
         self.trace = trace
         self.state = state
@@ -158,6 +185,20 @@ class GibbsSampler:
         if kernel not in KERNELS:
             raise InferenceError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.kernel = kernel
+        if shards < 1:
+            raise InferenceError(f"need at least one shard, got {shards}")
+        if shards > 1 and kernel != "array":
+            raise InferenceError("sharded sweeps run on the array kernel only")
+        if shard_workers is not None and shards == 1:
+            raise InferenceError(
+                "shard_workers requires shards > 1; use persistent_workers to "
+                "fan whole chains out instead"
+            )
+        if threads < 1:
+            raise InferenceError(f"threads must be at least 1, got {threads}")
+        self.shards = int(shards)
+        self.shard_workers = shard_workers
+        self.threads = int(threads)
         # The array kernel is built on top of the blanket caches.
         self.cache_blankets = (
             bool(cache_blankets) or bool(batch_draws) or kernel == "array"
@@ -174,7 +215,22 @@ class GibbsSampler:
         self._arrival_cache: ArrivalBlanketCache | None = None
         self._departure_cache: DepartureBlanketCache | None = None
         self._array_kernel: ArraySweepKernel | None = None
-        if self.cache_blankets:
+        self._shard_engine = None
+        if self.shards > 1:
+            # Imported here to avoid a cycle (shard builds on this module).
+            from repro.inference.shard import ShardedSweepEngine
+
+            self._shard_engine = ShardedSweepEngine(
+                trace,
+                state,
+                self._rates,
+                n_shards=self.shards,
+                random_state=self.rng,
+                shuffle=self.shuffle,
+                threads=self.threads,
+                workers=shard_workers,
+            )
+        elif self.cache_blankets:
             self.rebuild_blanket_cache()
         self.n_sweeps_done = 0
 
@@ -201,6 +257,8 @@ class GibbsSampler:
             self._departure_cache.refresh_rates(self.state, self._rates)
         if self._array_kernel is not None:
             self._array_kernel.refresh_rates(self._rates)
+        if self._shard_engine is not None:
+            self._shard_engine.refresh_rates(self.state, self._rates)
 
     @property
     def n_latent(self) -> int:
@@ -226,7 +284,8 @@ class GibbsSampler:
         )
         if self.kernel == "array":
             self._array_kernel = ArraySweepKernel(
-                self.state, self._arrival_cache, self._departure_cache, self._rates
+                self.state, self._arrival_cache, self._departure_cache, self._rates,
+                threads=self.threads,
             )
 
     def _fresh_caches(self) -> tuple[ArrivalBlanketCache, DepartureBlanketCache]:
@@ -243,7 +302,9 @@ class GibbsSampler:
 
     def sweep(self) -> SweepStats:
         """Resample every latent variable once; returns move statistics."""
-        if self.kernel == "array":
+        if self._shard_engine is not None:
+            stats = self._sweep_sharded()
+        elif self.kernel == "array":
             stats = self._sweep_array()
         elif self.cache_blankets:
             stats = self._sweep_cached()
@@ -259,6 +320,46 @@ class GibbsSampler:
             self.state, self.rng, shuffle=self.shuffle
         )
         return SweepStats(n_moves=n_moves, n_skipped=n_skipped)
+
+    def _sweep_sharded(self) -> SweepStats:
+        """One sweep on the sharded engine: boundary pass, then shards."""
+        n_moves, n_skipped = self._shard_engine.sweep(self.state, self.rng)
+        return SweepStats(n_moves=n_moves, n_skipped=n_skipped)
+
+    # ------------------------------------------------------------------
+    # Sufficient statistics and shard lifecycle.
+    # ------------------------------------------------------------------
+
+    def service_totals(self) -> np.ndarray:
+        """Per-queue total service of the current state (E-step statistic).
+
+        The unsharded path defers to
+        :func:`~repro.inference.mstep.chain_service_totals`.  Sharded runs
+        accumulate per-shard partial sums in shard order — bitwise
+        identical between the in-process engine and shard workers (whose
+        sub-traces hold the current interior times the master mirror does
+        not have while workers are attached).
+        """
+        if self._shard_engine is not None:
+            return self._shard_engine.service_totals(self.state)
+        from repro.inference.mstep import chain_service_totals
+
+        return chain_service_totals(self.state)
+
+    def finish_shards(self) -> None:
+        """Pull shard-worker state back in-process and detach the workers.
+
+        After this call ``state`` is the complete stitched chain state and
+        further sweeps continue the exact per-shard random streams
+        in-process.  No-op for unsharded or already-serial samplers.
+        """
+        if self._shard_engine is not None:
+            self._shard_engine.finish_workers(self.state)
+
+    def close(self) -> None:
+        """Release any shard worker processes; idempotent."""
+        if self._shard_engine is not None:
+            self._shard_engine.close()
 
     def _sweep_reference(self) -> SweepStats:
         """The uncached sweep: derive every blanket from the event set."""
@@ -376,6 +477,12 @@ class GibbsSampler:
         """
         if n_samples < 1 or thin < 1 or burn_in < 0:
             raise InferenceError("need n_samples >= 1, thin >= 1, burn_in >= 0")
+        if self._shard_engine is not None and self._shard_engine.pooled:
+            raise InferenceError(
+                "collect() reads whole-state summaries every retained "
+                "sweep, which shard workers do not ship back; call "
+                "finish_shards() first to collect in-process"
+            )
         self.run(burn_in)
         n_queues = self.state.n_queues
         mean_service = np.empty((n_samples, n_queues))

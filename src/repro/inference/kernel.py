@@ -41,6 +41,8 @@ automatically.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from repro.errors import InferenceError
@@ -49,6 +51,10 @@ from repro.inference.conditional import ArrivalBlanketCache, DepartureBlanketCac
 from repro.inference.piecewise import _FLAT_EPS, log_integral_exp
 
 _INF = np.inf
+
+#: Below this many moves a batch is evaluated on the calling thread even in
+#: threaded mode — the chunking overhead would dominate the numpy work.
+_MIN_ROWS_PER_THREAD = 64
 
 
 def _gather(values: np.ndarray, idx: np.ndarray, missing: float) -> np.ndarray:
@@ -180,6 +186,13 @@ class ArraySweepKernel:
         blanket extraction pass.
     rates:
         Current rate vector; refresh with :meth:`refresh_rates`.
+    threads:
+        With ``threads > 1`` each conflict-free batch's rows are split into
+        that many chunks whose piece construction and inverse-CDF draws run
+        on a shared :class:`~concurrent.futures.ThreadPoolExecutor` (the
+        numpy kernels release the GIL); the scatter writes are applied
+        after every chunk finished.  Chunking changes no arithmetic — rows
+        are independent — so draws are bitwise identical to ``threads=1``.
     """
 
     def __init__(
@@ -188,7 +201,12 @@ class ArraySweepKernel:
         arrival_cache: ArrivalBlanketCache,
         departure_cache: DepartureBlanketCache,
         rates: np.ndarray,
+        threads: int = 1,
     ) -> None:
+        if threads < 1:
+            raise InferenceError(f"threads must be at least 1, got {threads}")
+        self.threads = int(threads)
+        self._executor: ThreadPoolExecutor | None = None
         if (
             arrival_cache.structure_version != event_set.structure_version
             or departure_cache.structure_version != event_set.structure_version
@@ -440,38 +458,60 @@ class ArraySweepKernel:
             n_skipped += sel.size - moved
         return n_moves, n_skipped
 
-    def _apply_arrival_batch(
+    # ------------------------------------------------------------------
+    # Threaded chunk plumbing.
+    # ------------------------------------------------------------------
+
+    def _chunk_map(self, evaluate, sel: np.ndarray, u: np.ndarray, v: np.ndarray):
+        """Evaluate one batch, chunked over the thread pool when enabled.
+
+        Returns the per-chunk ``(events, values)`` pairs in chunk order —
+        concatenating them reproduces the single-chunk result exactly,
+        because rows of a batch are arithmetically independent.
+        """
+        if self.threads <= 1 or sel.size < self.threads * _MIN_ROWS_PER_THREAD:
+            return [evaluate(sel, u, v)]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.threads)
+        bounds = np.linspace(0, sel.size, self.threads + 1).astype(np.int64)
+        futures = [
+            self._executor.submit(evaluate, sel[a:b], u[a:b], v[a:b])
+            for a, b in zip(bounds[:-1], bounds[1:])
+            if b > a
+        ]
+        return [f.result() for f in futures]
+
+    def __getstate__(self):
+        # Executors cannot cross process boundaries; rebuild lazily.
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+    def _eval_arrival_chunk(
         self,
-        state: EventSet,
         arrival: np.ndarray,
         departure: np.ndarray,
         sel: np.ndarray,
         u: np.ndarray,
         v: np.ndarray,
-    ) -> int:
+    ) -> tuple[np.ndarray, np.ndarray]:
         pieces = self.arrival_pieces(arrival, departure, sel)
         valid = pieces["valid"]
-        if not np.any(valid):
-            return 0
         idx = _select_pieces(pieces["log_masses"], pieces["log_z"], u)
         x = _invert_pieces(pieces["knots"], pieces["slopes"], idx, v)
-        state.set_arrivals(pieces["events"][valid], x[valid])
-        return int(np.count_nonzero(valid))
+        return pieces["events"][valid], x[valid]
 
-    def _apply_departure_batch(
+    def _eval_departure_chunk(
         self,
-        state: EventSet,
         arrival: np.ndarray,
         departure: np.ndarray,
         sel: np.ndarray,
         u: np.ndarray,
         v: np.ndarray,
-    ) -> int:
+    ) -> tuple[np.ndarray, np.ndarray]:
         pieces = self.departure_pieces(arrival, departure, sel)
         valid = pieces["valid"]
         tail = pieces["tail"]
-        if not np.any(valid):
-            return 0
         idx = _select_pieces(pieces["log_masses"], pieces["log_z"], u)
         x = _invert_pieces(pieces["knots"], pieces["slopes"], idx, v)
         if np.any(tail):
@@ -483,5 +523,44 @@ class ArraySweepKernel:
                     pieces["lower"] - np.log1p(-v) / pieces["mu_e"],
                     x,
                 )
-        state.set_final_departures(pieces["events"][valid], x[valid])
-        return int(np.count_nonzero(valid))
+        return pieces["events"][valid], x[valid]
+
+    def _apply_arrival_batch(
+        self,
+        state: EventSet,
+        arrival: np.ndarray,
+        departure: np.ndarray,
+        sel: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+    ) -> int:
+        def evaluate(s, uu, vv):
+            return self._eval_arrival_chunk(arrival, departure, s, uu, vv)
+
+        chunks = self._chunk_map(evaluate, sel, u, v)
+        moved = 0
+        for events, x in chunks:
+            if events.size:
+                state.set_arrivals(events, x)
+                moved += events.size
+        return moved
+
+    def _apply_departure_batch(
+        self,
+        state: EventSet,
+        arrival: np.ndarray,
+        departure: np.ndarray,
+        sel: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+    ) -> int:
+        def evaluate(s, uu, vv):
+            return self._eval_departure_chunk(arrival, departure, s, uu, vv)
+
+        chunks = self._chunk_map(evaluate, sel, u, v)
+        moved = 0
+        for events, x in chunks:
+            if events.size:
+                state.set_final_departures(events, x)
+                moved += events.size
+        return moved

@@ -37,7 +37,6 @@ from repro.inference.chains import chain_seed_sequences, jittered_rates
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import heuristic_initialize
 from repro.inference.init_lp import lp_initialize
-from repro.inference.mstep import chain_service_totals
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_generator
 
@@ -70,7 +69,8 @@ class ChainRecipe:
     Chain 0 carries ``init_seed=None`` (it initializes at the base rates
     with the caller's generator, exactly like the historical single-chain
     run); chains 1+ carry dedicated seed-sequence spawns and jitter their
-    initializer rates.
+    initializer rates.  ``shards`` selects the sharded sweep engine of
+    :mod:`repro.inference.shard` for the chain's sweeps.
     """
 
     index: int
@@ -82,6 +82,7 @@ class ChainRecipe:
     jitter: float
     shuffle: bool
     kernel: str
+    shards: int = 1
 
 
 def chain_recipes(
@@ -93,6 +94,7 @@ def chain_recipes(
     random_state: RandomState,
     shuffle: bool,
     kernel: str = "array",
+    shards: int = 1,
 ) -> list[ChainRecipe]:
     """One recipe per E-step chain, over-dispersed past chain 0.
 
@@ -114,6 +116,7 @@ def chain_recipes(
             jitter=jitter,
             shuffle=shuffle,
             kernel=kernel,
+            shards=shards,
         )
     ]
     if n_chains == 1:
@@ -132,13 +135,22 @@ def chain_recipes(
                 jitter=jitter,
                 shuffle=shuffle,
                 kernel=kernel,
+                shards=shards,
             )
         )
     return recipes
 
 
-def build_chain_sampler(recipe: ChainRecipe) -> GibbsSampler:
-    """Materialize one warm E-step chain from its recipe."""
+def build_chain_sampler(
+    recipe: ChainRecipe, shard_workers: int | None = None
+) -> GibbsSampler:
+    """Materialize one warm E-step chain from its recipe.
+
+    *shard_workers* optionally attaches a shard worker pool to a sharded
+    chain (``recipe.shards > 1``) — the distributed-sweep path of
+    :func:`~repro.inference.stem.run_stem`; serial and pooled chains are
+    built from the same recipe either way.
+    """
     if recipe.init_seed is None:
         init_rates = recipe.rates
     else:
@@ -151,6 +163,8 @@ def build_chain_sampler(recipe: ChainRecipe) -> GibbsSampler:
         random_state=recipe.sweep_state,
         shuffle=recipe.shuffle,
         kernel=recipe.kernel,
+        shards=recipe.shards,
+        shard_workers=shard_workers if recipe.shards > 1 else None,
     )
 
 
@@ -205,7 +219,10 @@ def _pool_worker_main(conn, recipes: list[ChainRecipe]) -> None:
                         out[index] = kept
                     else:
                         sampler.run(n_keep)
-                        out[index] = chain_service_totals(sampler.state)
+                        # service_totals == chain_service_totals for
+                        # unsharded chains, and matches the serial sharded
+                        # accumulation order for sharded ones.
+                        out[index] = sampler.service_totals()
                 conn.send(("ok", out))
             elif cmd == "finish":
                 _, rates = msg
@@ -224,34 +241,27 @@ def _pool_worker_main(conn, recipes: list[ChainRecipe]) -> None:
         conn.close()
 
 
-class PersistentChainPool:
-    """Long-lived worker processes holding warm E-step chains.
+class PersistentWorkerPool:
+    """Process-lifecycle core shared by the chain and shard worker pools.
 
-    Chains are assigned to workers round-robin at construction and never
-    migrate, so the hosting worker is an implementation detail: results
-    are bitwise identical at any ``workers`` count (including the serial
-    in-process path built from the same recipes).
-
-    Use as a context manager; on error or exit every worker is joined (and
-    terminated if it does not exit promptly).
-
-    Parameters
-    ----------
-    recipes:
-        Output of :func:`chain_recipes`.
-    workers:
-        Worker process count; clamped to the number of chains.  Defaults
-        to one worker per chain.
+    Payload items (chain recipes, shard residents) are assigned to worker
+    processes round-robin at construction and never migrate, so the
+    hosting worker is always an implementation detail.  Use as a context
+    manager; on error or exit every worker is joined (and terminated if it
+    does not exit promptly).
     """
 
-    def __init__(self, recipes: list[ChainRecipe], workers: int | None = None) -> None:
-        if not recipes:
-            raise InferenceError("need at least one chain recipe")
-        n_workers = len(recipes) if workers is None else int(workers)
+    #: Prefix of surfaced worker failures; subclasses override.
+    _failure_label = "persistent worker"
+
+    def __init__(self, items: list, workers: int | None, worker_main) -> None:
+        if not items:
+            raise InferenceError("need at least one worker payload")
+        n_workers = len(items) if workers is None else int(workers)
         if n_workers < 1:
             raise InferenceError(f"need at least one worker, got {workers}")
-        n_workers = min(n_workers, len(recipes))
-        self.n_chains = len(recipes)
+        n_workers = min(n_workers, len(items))
+        self.n_items = len(items)
         self.n_workers = n_workers
         ctx = multiprocessing.get_context()
         self._conns = []
@@ -259,10 +269,10 @@ class PersistentChainPool:
         self._closed = False
         try:
             for w in range(n_workers):
-                assigned = recipes[w::n_workers]
+                assigned = items[w::n_workers]
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
-                    target=_pool_worker_main,
+                    target=worker_main,
                     args=(child_conn, assigned),
                     daemon=True,
                 )
@@ -283,10 +293,15 @@ class PersistentChainPool:
     def _expect_ok(self, reply):
         if reply[0] == "error":
             self.close()
-            raise InferenceError(f"persistent E-step worker failed: {reply[1]}")
+            raise InferenceError(f"{self._failure_label} failed: {reply[1]}")
         return reply[1]
 
     def _broadcast(self, message) -> list:
+        """Send one message to every worker; merge keyed replies in order.
+
+        Any worker-side error (or a dead pipe) shuts the whole pool down
+        and surfaces as :class:`~repro.errors.InferenceError`.
+        """
         if self._closed:
             raise InferenceError("the worker pool is closed")
         for conn in self._conns:
@@ -305,8 +320,62 @@ class PersistentChainPool:
                 merged.update(reply[1])
         if failure is not None:
             self.close()
-            raise InferenceError(f"persistent E-step worker failed: {failure}")
+            raise InferenceError(f"{self._failure_label} failed: {failure}")
         return [merged[index] for index in sorted(merged)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent, never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class PersistentChainPool(PersistentWorkerPool):
+    """Long-lived worker processes holding warm E-step chains.
+
+    Chains never migrate between workers, so results are bitwise identical
+    at any ``workers`` count (including the serial in-process path built
+    from the same recipes).
+
+    Parameters
+    ----------
+    recipes:
+        Output of :func:`chain_recipes`.
+    workers:
+        Worker process count; clamped to the number of chains.  Defaults
+        to one worker per chain.
+    """
+
+    _failure_label = "persistent E-step worker"
+
+    def __init__(self, recipes: list[ChainRecipe], workers: int | None = None) -> None:
+        super().__init__(recipes, workers, _pool_worker_main)
+        self.n_chains = self.n_items
 
     # ------------------------------------------------------------------
     # E-step operations.
@@ -336,34 +405,3 @@ class PersistentChainPool:
         samplers = self._broadcast(("finish", rates))
         self.close()
         return samplers
-
-    # ------------------------------------------------------------------
-    # Lifecycle.
-    # ------------------------------------------------------------------
-
-    def close(self) -> None:
-        """Shut every worker down; idempotent, never raises."""
-        if self._closed:
-            return
-        self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
-
-    def __enter__(self) -> "PersistentChainPool":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()

@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import InferenceError
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import initial_rates_from_observed
-from repro.inference.mstep import mle_rates, mle_rates_from_stats, mle_rates_pooled
+from repro.inference.mstep import mle_rates_from_stats
 from repro.inference.pool import (
     PersistentChainPool,
     build_chain_sampler,
@@ -94,6 +94,7 @@ def run_stem(
     jitter: float = 0.15,
     kernel: str = "array",
     persistent_workers: int | None = None,
+    shards: int = 1,
 ) -> StEMResult:
     """Estimate ``lambda`` and all ``mu_q`` from an incomplete trace.
 
@@ -137,11 +138,24 @@ def run_stem(
         rate vectors and per-queue sufficient statistics cross the process
         boundary each round.  Results are bitwise identical to the serial
         run at any worker count.
+    shards:
+        With ``shards > 1`` every E-step chain's sweep itself is sharded
+        (:mod:`repro.inference.shard`): the trace's tasks are partitioned,
+        interior moves sweep per shard and only boundary events are
+        exchanged between super-steps.  Combined with
+        ``persistent_workers`` and a single chain, the shards of that
+        chain are distributed across the workers (sub-traces stay
+        resident; only boundary times and per-queue statistics cross the
+        process boundary) — bitwise identical to the in-process sharded
+        run at any worker count.  With multiple chains, each worker hosts
+        whole (sharded) chains as usual.
     """
     if n_iterations < 1:
         raise InferenceError(f"need at least one iteration, got {n_iterations}")
     if n_chains < 1:
         raise InferenceError(f"need at least one chain, got {n_chains}")
+    if shards < 1:
+        raise InferenceError(f"need at least one shard, got {shards}")
     if burn_in is None:
         burn_in = n_iterations // 2
     if not 0 <= burn_in < n_iterations:
@@ -154,12 +168,14 @@ def run_stem(
         else initial_rates_from_observed(trace)
     )
     recipes = chain_recipes(
-        trace, rates, init_method, n_chains, jitter, random_state, shuffle, kernel
+        trace, rates, init_method, n_chains, jitter, random_state, shuffle, kernel,
+        shards=shards,
     )
+    counts = trace.skeleton.events_per_queue().astype(float)
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
     history[0] = rates
-    if persistent_workers:
-        counts = trace.skeleton.events_per_queue().astype(float)
+    shard_pool_run = bool(persistent_workers) and shards > 1 and n_chains == 1
+    if persistent_workers and not shard_pool_run:
         with PersistentChainPool(recipes, workers=persistent_workers) as pool:
             for it in range(1, n_iterations + 1):
                 totals = pool.step(rates, n_keep=sweeps_per_iteration)
@@ -168,20 +184,37 @@ def run_stem(
             estimate = history[burn_in:].mean(axis=0)
             samplers = pool.finish(estimate)
     else:
-        samplers = [build_chain_sampler(recipe) for recipe in recipes]
-        for it in range(1, n_iterations + 1):
+        # Serial chains — or one chain whose *shards* fan out over the
+        # persistent workers.  Both build from the same recipes and use
+        # the same statistic accumulation, so the three paths (serial,
+        # chain-pooled, shard-pooled) stay bitwise aligned.
+        samplers = [
+            build_chain_sampler(
+                recipe,
+                shard_workers=persistent_workers if shard_pool_run else None,
+            )
+            for recipe in recipes
+        ]
+        try:
+            for it in range(1, n_iterations + 1):
+                for sampler in samplers:
+                    sampler.run(sweeps_per_iteration)
+                rates = mle_rates_from_stats(
+                    counts, [s.service_totals() for s in samplers]
+                )
+                for sampler in samplers:
+                    sampler.set_rates(rates)
+                history[it] = rates
+            estimate = history[burn_in:].mean(axis=0)
             for sampler in samplers:
-                sampler.run(sweeps_per_iteration)
-            if len(samplers) == 1:
-                rates = mle_rates(samplers[0].state)
-            else:
-                rates = mle_rates_pooled([s.state for s in samplers])
+                sampler.set_rates(estimate)
+                # Pull shard-worker state home so the returned sampler holds
+                # the complete stitched chain and owns no processes.
+                sampler.finish_shards()
+        except BaseException:
             for sampler in samplers:
-                sampler.set_rates(rates)
-            history[it] = rates
-        estimate = history[burn_in:].mean(axis=0)
-        for sampler in samplers:
-            sampler.set_rates(estimate)
+                sampler.close()
+            raise
     return StEMResult(
         rates=estimate,
         rates_history=history,

@@ -83,6 +83,11 @@ class WindowedEstimator:
         suffices).
     min_observed_tasks:
         Windows with fewer fully observed tasks are skipped (``rates=None``).
+    shards:
+        Sharded sweeps for every window's StEM E-steps (see
+        :func:`~repro.inference.stem.run_stem`); the shard count is
+        clamped to each window's task count, so small windows fall back
+        to the plain kernel automatically.
     """
 
     def __init__(
@@ -93,17 +98,21 @@ class WindowedEstimator:
         stem_iterations: int = 40,
         min_observed_tasks: int = 3,
         random_state: RandomState = None,
+        shards: int = 1,
     ) -> None:
         if window <= 0.0:
             raise InferenceError(f"window must be positive, got {window}")
         if step is not None and step <= 0.0:
             raise InferenceError(f"step must be positive, got {step}")
+        if shards < 1:
+            raise InferenceError(f"need at least one shard, got {shards}")
         self.trace = trace
         self.window = float(window)
         self.step = float(step) if step is not None else float(window)
         self.stem_iterations = int(stem_iterations)
         self.min_observed_tasks = int(min_observed_tasks)
         self._random_state = random_state
+        self.shards = int(shards)
         self._entries = _entry_time_estimates(trace)
 
     def _task_observed(self, task_id: int) -> bool:
@@ -133,6 +142,7 @@ class WindowedEstimator:
                     n_iterations=self.stem_iterations,
                     init_method="heuristic",
                     random_state=stream,
+                    shards=self.shards,
                 )
                 rates = stem.rates
             except Exception:  # noqa: BLE001 — a failed window is data, not a crash

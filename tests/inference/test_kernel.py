@@ -224,6 +224,32 @@ class TestSweepValidity:
         sampler.run(8)
         np.testing.assert_array_equal(state.arrival[obs], before)
 
+    def test_threads_forwarded_and_bitwise_invariant(self):
+        """threads=T reaches the unsharded kernel, the chunked path really
+        runs (batches large enough to split), and no draw changes."""
+        from repro.inference.kernel import _MIN_ROWS_PER_THREAD
+
+        net = build_tandem_network(4.0, [6.0, 8.0, 9.0])
+        sim = simulate_network(net, 800, random_state=3)
+        trace = TaskSampling(fraction=0.1).observe(sim.events, random_state=1)
+        rates = sim.true_rates()
+        runs = {}
+        for threads in (1, 2):
+            state = heuristic_initialize(trace, rates)
+            sampler = GibbsSampler(trace, state, rates, random_state=21,
+                                   kernel="array", threads=threads)
+            assert sampler._array_kernel.threads == threads
+            if threads > 1:
+                # At least one batch must be big enough to actually chunk.
+                assert any(
+                    b.size >= threads * _MIN_ROWS_PER_THREAD
+                    for b in sampler._array_kernel.a_batches
+                )
+            sampler.run(4)
+            runs[threads] = (state.arrival.copy(), state.departure.copy())
+        np.testing.assert_array_equal(runs[1][0], runs[2][0])
+        np.testing.assert_array_equal(runs[1][1], runs[2][1])
+
     def test_reproducible_and_kernel_validated(self, tandem_trace, tandem_sim):
         rates = tandem_sim.true_rates()
         runs = []

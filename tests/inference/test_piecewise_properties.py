@@ -107,10 +107,18 @@ class TestDensityInvariants:
         dist = PiecewiseExponential(knots, slopes)
         x = knots[0] + frac * (knots[-1] - knots[0])
         q = dist.cdf(x)
-        # Only invertible where the CDF is not numerically flat.
-        if 1e-12 < q < 1.0 - 1e-12:
-            scale = knots[-1] - knots[0]
-            assert dist.ppf(q) == pytest.approx(x, abs=1e-6 * scale + 1e-9)
+        # Only invertible where the CDF is not numerically flat — globally
+        # (q off the saturated tails) *and* locally: a steep decaying piece
+        # upstream can leave the density at x below double-precision
+        # resolution (e.g. slope -6 over width 4.5 => e^-27 relative mass),
+        # and no inverse can localize x where the CDF does not move.
+        scale = knots[-1] - knots[0]
+        tol = 1e-6 * scale + 1e-9
+        locally_resolvable = dist.cdf(min(x + tol, knots[-1])) - dist.cdf(
+            max(x - tol, knots[0])
+        ) > 1e-11
+        if 1e-12 < q < 1.0 - 1e-12 and locally_resolvable:
+            assert dist.ppf(q) == pytest.approx(x, abs=tol)
 
     @settings(max_examples=40, deadline=None)
     @given(moderate_densities())

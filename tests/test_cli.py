@@ -54,6 +54,34 @@ class TestInfer:
         assert "bottleneck ranking" in text
         assert "verdict" in text
 
+    def test_infer_sharded(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "80",
+            "--arrival-rate", "4", "--service-rate", "8",
+            "--servers", "1", "2", "--seed", "3", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "infer", str(out), "--observe", "0.3", "--iterations", "20",
+            "--seed", "0", "--shards", "2",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "estimated arrival rate" in text
+        assert "bottleneck ranking" in text
+
+    def test_infer_rejects_bad_shards(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "20",
+            "--servers", "1", "2", "--out", str(out),
+        ])
+        with pytest.raises(SystemExit):
+            main(["infer", str(out), "--shards", "0"])
+        with pytest.raises(SystemExit, match="array kernel"):
+            main(["infer", str(out), "--shards", "2", "--kernel", "object"])
+
     def test_infer_multichain(self, tmp_path, capsys):
         out = tmp_path / "trace.jsonl"
         main([

@@ -70,6 +70,22 @@ class TestWindowedEstimator:
             WindowedEstimator(tandem_trace, window=-1.0)
         with pytest.raises(InferenceError):
             WindowedEstimator(tandem_trace, window=1.0, step=0.0)
+        with pytest.raises(InferenceError):
+            WindowedEstimator(tandem_trace, window=1.0, shards=0)
+
+    def test_sharded_windows_estimate(self, tandem_trace):
+        """Sharded per-window StEM runs end to end; tiny windows clamp the
+        shard count to their task count automatically."""
+        horizon = float(np.nanmax(tandem_trace.skeleton.departure))
+        estimator = WindowedEstimator(
+            tandem_trace, window=horizon / 2, stem_iterations=15,
+            random_state=9, shards=3,
+        )
+        results = estimator.run()
+        assert any(w.ok for w in results)
+        for w in results:
+            if w.ok:
+                assert np.all(np.isfinite(w.rates))
 
 
 class TestAnomalyDetection:
@@ -106,3 +122,73 @@ class TestAnomalyDetection:
     def test_threshold_validation(self):
         with pytest.raises(InferenceError):
             detect_anomalies([], threshold=0.0)
+        with pytest.raises(InferenceError):
+            detect_anomalies([], min_scale_frac=-0.1)
+
+
+def _window(i, service, ok=True, n_queues=3):
+    """A synthetic WindowEstimate with queue 1's mean service = *service*."""
+    from repro.online.windowed import WindowEstimate
+
+    rates = None
+    if ok:
+        rates = np.array([4.0] + [1.0 / service] + [10.0] * (n_queues - 2))
+    return WindowEstimate(
+        t_start=float(i), t_end=float(i + 1), n_tasks=20, n_observed_tasks=10,
+        rates=rates,
+    )
+
+
+class TestAnomalyDetectionBranches:
+    """Unit coverage of detect_anomalies' warm-up and noise-floor branches."""
+
+    def test_no_flags_while_history_shorter_than_min_history(self):
+        # A huge jump inside the warm-up must not be judged: with
+        # min_history=3, windows 0-2 build history and only window 3+ can
+        # flag.  Failed windows (ok=False) must not count as history.
+        windows = [
+            _window(0, 1.0),
+            _window(1, ok=False, service=0.0),
+            _window(2, 50.0),   # only 1 earlier success -> warm-up
+            _window(3, 1.0),    # 2 earlier successes    -> warm-up
+            _window(4, 60.0),   # 3 earlier successes    -> judged, flagged
+        ]
+        reports = detect_anomalies(windows, queues=[1], threshold=4.0,
+                                   min_history=3)
+        assert [r.window_index for r in reports] == [4]
+        # With a warm-up longer than the series, nothing is ever judged.
+        assert detect_anomalies(windows, queues=[1], min_history=10) == []
+
+    def test_judgment_starts_exactly_at_min_history(self):
+        windows = [_window(i, 1.0) for i in range(3)] + [_window(3, 30.0)]
+        assert detect_anomalies(windows, queues=[1], min_history=3)
+        assert detect_anomalies(windows, queues=[1], min_history=4) == []
+
+    def test_mad_noise_floor_suppresses_estimator_jitter(self):
+        # Near-identical history -> MAD ~ 0.  Without the noise floor the
+        # z-score of ordinary ~20% jitter would explode; the floor clamps
+        # the scale to min_scale_frac * baseline and keeps it quiet.
+        windows = [
+            _window(0, 1.0), _window(1, 1.0 + 1e-9), _window(2, 1.0 - 1e-9),
+            _window(3, 1.25),
+        ]
+        assert detect_anomalies(windows, queues=[1], threshold=4.0,
+                                min_scale_frac=0.1) == []
+        # Dropping the floor exposes the raw-MAD behaviour (the 1e-3
+        # relative fallback is the only remaining guard): now flagged.
+        reports = detect_anomalies(windows, queues=[1], threshold=4.0,
+                                   min_scale_frac=0.0)
+        assert [r.window_index for r in reports] == [3]
+        assert abs(reports[0].z_score) >= 4.0
+
+    def test_every_window_at_noise_floor_real_shift_still_flags(self):
+        # The floor must not mask a genuine regime change: a 3x shift is
+        # ~20 floor-scaled sigmas.
+        windows = [_window(i, 1.0) for i in range(4)] + [_window(4, 3.0)]
+        reports = detect_anomalies(windows, queues=[1], threshold=4.0,
+                                   min_scale_frac=0.1)
+        assert [r.window_index for r in reports] == [4]
+        report = reports[0]
+        assert report.baseline == pytest.approx(1.0)
+        # Scale was the clamped floor, 0.1 * baseline.
+        assert report.z_score == pytest.approx((3.0 - 1.0) / 0.1, rel=1e-6)

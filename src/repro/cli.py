@@ -7,6 +7,10 @@ simulate
 infer
     Load a trace, censor it to a task-sampled observation rate, run StEM +
     Gibbs, and print parameter estimates plus a bottleneck report.
+stream
+    Replay a trace as an online stream: sliding-window StEM with warm
+    cross-window shard workers, printing the per-window rate series and
+    any anomalies it reveals.
 experiment
     Run a reduced-scale version of one of the paper's experiments
     (fig4 / fig5 / variance) and print the result tables.
@@ -34,9 +38,11 @@ from repro.inference import (
     estimate_posterior,
     run_stem,
 )
+from repro.inference.transport import PipeTransport, SocketTransport
 from repro.localization import rank_bottlenecks, render_report
 from repro.network import build_tandem_network, build_three_tier_network
 from repro.observation import TaskSampling
+from repro.online import ReplayTraceStream, StreamingEstimator, detect_anomalies
 from repro.simulate import simulate_network
 from repro.webapp import WebAppConfig, generate_webapp_trace
 
@@ -99,6 +105,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "processes that keep chain state resident across EM iterations "
         "(default: serial in-process; results are bitwise identical at "
         "any worker count)",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="sliding-window StEM over a replayed trace with warm shard workers",
+    )
+    stream.add_argument("trace", help="JSONL trace written by `simulate`")
+    stream.add_argument(
+        "--observe", type=float, default=0.2, help="observed task fraction"
+    )
+    stream.add_argument(
+        "--windows", type=int, default=8,
+        help="number of tumbling windows the trace horizon is split into "
+        "(ignored when --window is given)",
+    )
+    stream.add_argument(
+        "--window", type=float, default=None,
+        help="window length in trace clock units (overrides --windows)",
+    )
+    stream.add_argument(
+        "--step", type=float, default=None,
+        help="window start spacing (default: the window length; smaller "
+        "values overlap windows, which maximizes warm-shard reuse)",
+    )
+    stream.add_argument("--iterations", type=int, default=30,
+                        help="StEM iterations per window")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--shards", type=int, default=1,
+        help="sharded sweeps per window (clamped to each window's task count)",
+    )
+    stream.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="host the shard sweeps on this many worker processes, kept "
+        "warm across windows (results identical at any worker count)",
+    )
+    stream.add_argument(
+        "--transport", choices=["pipe", "socket"], default="pipe",
+        help="worker transport: OS pipes (default) or loopback TCP "
+        "sockets — the same wire protocol remote workers would speak",
+    )
+    stream.add_argument(
+        "--cold", action="store_true",
+        help="tear shard workers down after every window instead of "
+        "keeping them warm (the rebuild baseline; same results, slower)",
+    )
+    stream.add_argument(
+        "--anomaly-threshold", type=float, default=4.0,
+        help="robust z-score above which a window's rate shift is flagged",
     )
 
     exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
@@ -200,6 +255,82 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.shard_workers is not None and args.shard_workers < 1:
+        raise SystemExit("--shard-workers must be at least 1")
+    if args.shard_workers is not None and args.shards == 1:
+        raise SystemExit("--shard-workers requires --shards > 1")
+    if args.transport != "pipe" and args.shard_workers is None:
+        raise SystemExit(
+            "--transport selects the worker transport; pass --shard-workers "
+            "(with --shards > 1) or drop it"
+        )
+    if args.cold and args.shard_workers is None:
+        raise SystemExit(
+            "--cold tears worker pools down per window; pass --shard-workers "
+            "(with --shards > 1) or drop it"
+        )
+    if args.window is not None and args.window <= 0.0:
+        raise SystemExit("--window must be positive")
+    if args.step is not None and args.step <= 0.0:
+        raise SystemExit("--step must be positive")
+    if args.windows < 1:
+        raise SystemExit("--windows must be at least 1")
+    if args.iterations < 1:
+        raise SystemExit("--iterations must be at least 1")
+    events = load_jsonl(args.trace)
+    trace = TaskSampling(fraction=args.observe).observe(events, random_state=args.seed)
+    print(trace.summary())
+    source = ReplayTraceStream(trace)
+    window = (
+        args.window if args.window is not None else source.horizon / args.windows
+    )
+    transport = SocketTransport() if args.transport == "socket" else PipeTransport()
+    estimator = StreamingEstimator(
+        source,
+        window=window,
+        step=args.step,
+        stem_iterations=args.iterations,
+        random_state=args.seed,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        transport=transport,
+        warm_workers=not args.cold,
+    )
+    windows = estimator.run()  # closes the pool and the owned transport
+    rows = []
+    for i, est in enumerate(windows):
+        services = (
+            " ".join(f"{est.mean_service(q):.4g}" for q in range(1, events.n_queues))
+            if est.ok
+            else (est.failure or "skipped")
+        )
+        rows.append((
+            i, f"{est.t_start:.1f}", f"{est.t_end:.1f}", est.n_tasks,
+            est.n_observed_tasks, est.n_shards,
+            f"{est.n_warm_shards}/{est.n_warm_shards + est.n_migrated_shards}",
+            services,
+        ))
+    print(render_table(
+        ["win", "t0", "t1", "tasks", "obs", "shards", "warm", "mean service (q1..)"],
+        rows, title="\nstreaming window estimates",
+    ))
+    reports = detect_anomalies(windows, threshold=args.anomaly_threshold)
+    if reports:
+        print("\nanomalies:")
+        for r in reports:
+            print(
+                f"  window {r.window_index} [{r.t_start:.1f}, {r.t_end:.1f}) "
+                f"queue {r.queue}: mean service {r.value:.4g} vs baseline "
+                f"{r.baseline:.4g} (z={r.z_score:.1f})"
+            )
+    else:
+        print("\nno anomalies flagged")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "fig4":
         result = run_fig4(quick_fig4_config(), random_state=args.seed)
@@ -245,6 +376,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "infer":
         return _cmd_infer(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     return _cmd_experiment(args)
 
 

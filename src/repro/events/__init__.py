@@ -16,7 +16,12 @@ joint density of Eq. 1) as vectorized reductions.
 """
 
 from repro.events.event_set import EventSet
-from repro.events.subset import merge_task_subsets, subset_tasks, subset_trace
+from repro.events.subset import (
+    SubsetIndex,
+    merge_task_subsets,
+    subset_tasks,
+    subset_trace,
+)
 from repro.events.serialization import (
     event_set_from_records,
     event_set_to_records,
@@ -26,6 +31,7 @@ from repro.events.serialization import (
 
 __all__ = [
     "EventSet",
+    "SubsetIndex",
     "merge_task_subsets",
     "subset_tasks",
     "subset_trace",

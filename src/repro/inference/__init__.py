@@ -28,6 +28,9 @@ Layout
   task-interaction graph), shard interiors sweep concurrently on
   restricted array kernels, and only boundary events — moves whose
   Markov blanket crosses a shard cut — are exchanged between super-steps.
+* :mod:`repro.inference.transport` — pluggable master↔worker message
+  transports for the persistent pools (local pipes by default, TCP
+  sockets for cross-machine workers; identical protocol and draws).
 * :mod:`repro.inference.diagnostics` — MCMC convergence diagnostics
   (within-chain and cross-chain).
 """
@@ -78,12 +81,20 @@ from repro.inference.shard import (
     ShardWorkerPool,
     ShardedSweepEngine,
     TaskPartition,
+    WarmShardWorkerPool,
     boundary_event_sets,
     build_shard_plan,
     partition_tasks,
+    refresh_partition,
     task_interaction_graph,
 )
 from repro.inference.stem import StEMResult, run_stem
+from repro.inference.transport import (
+    PipeTransport,
+    SocketTransport,
+    WorkerTransport,
+    serve_worker,
+)
 
 __all__ = [
     "PiecewiseExponential",
@@ -107,10 +118,16 @@ __all__ = [
     "ShardWorkerPool",
     "ShardedSweepEngine",
     "TaskPartition",
+    "WarmShardWorkerPool",
     "boundary_event_sets",
     "build_shard_plan",
     "partition_tasks",
+    "refresh_partition",
     "task_interaction_graph",
+    "WorkerTransport",
+    "PipeTransport",
+    "SocketTransport",
+    "serve_worker",
     "ChainSpec",
     "MultiChainPosterior",
     "MultiChainSampler",

@@ -151,6 +151,21 @@ class GibbsSampler:
         sharded sweep at any worker count.  While workers are attached,
         ``state`` is only current in the boundary region; call
         :meth:`finish_shards` to pull the full state back and detach.
+    shard_partition:
+        Optional pre-computed
+        :class:`~repro.inference.shard.TaskPartition` for the sharded
+        engine (the streaming estimator's incremental re-partition);
+        ``None`` partitions from scratch.  Any partition targets the same
+        posterior — it only reorders the scan.
+    shard_pool:
+        An externally owned
+        :class:`~repro.inference.shard.WarmShardWorkerPool` that adopts
+        this sampler's shards instead of spawning dedicated workers; the
+        pool's processes outlive the sampler (cross-window streaming).
+        Mutually exclusive with ``shard_workers``.
+    shard_transport:
+        Worker transport for a dedicated shard pool (see
+        :mod:`repro.inference.transport`); pipes by default.
     threads:
         Threaded batch evaluation inside every array kernel (see
         :class:`~repro.inference.kernel.ArraySweepKernel`); draws are
@@ -169,6 +184,9 @@ class GibbsSampler:
         kernel: str = "array",
         shards: int = 1,
         shard_workers: int | None = None,
+        shard_partition=None,
+        shard_pool=None,
+        shard_transport=None,
         threads: int = 1,
     ) -> None:
         self.trace = trace
@@ -193,6 +211,11 @@ class GibbsSampler:
             raise InferenceError(
                 "shard_workers requires shards > 1; use persistent_workers to "
                 "fan whole chains out instead"
+            )
+        if shard_pool is not None and shard_workers is not None:
+            raise InferenceError(
+                "pass either shard_workers (a dedicated pool) or shard_pool "
+                "(an external warm pool), not both"
             )
         if threads < 1:
             raise InferenceError(f"threads must be at least 1, got {threads}")
@@ -229,6 +252,9 @@ class GibbsSampler:
                 shuffle=self.shuffle,
                 threads=self.threads,
                 workers=shard_workers,
+                partition=shard_partition,
+                pool=shard_pool,
+                transport=shard_transport,
             )
         elif self.cache_blankets:
             self.rebuild_blanket_cache()

@@ -26,7 +26,6 @@ hope.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +36,7 @@ from repro.inference.chains import chain_seed_sequences, jittered_rates
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import heuristic_initialize
 from repro.inference.init_lp import lp_initialize
+from repro.inference.transport import PipeTransport, WorkerTransport
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_generator
 
@@ -83,6 +83,10 @@ class ChainRecipe:
     shuffle: bool
     kernel: str
     shards: int = 1
+    #: Optional pre-computed task partition for the sharded engine (the
+    #: streaming estimator's incremental re-partition path); ``None``
+    #: lets the engine run :func:`~repro.inference.shard.partition_tasks`.
+    partition: object | None = None
 
 
 def chain_recipes(
@@ -95,6 +99,7 @@ def chain_recipes(
     shuffle: bool,
     kernel: str = "array",
     shards: int = 1,
+    partition=None,
 ) -> list[ChainRecipe]:
     """One recipe per E-step chain, over-dispersed past chain 0.
 
@@ -117,6 +122,7 @@ def chain_recipes(
             shuffle=shuffle,
             kernel=kernel,
             shards=shards,
+            partition=partition,
         )
     ]
     if n_chains == 1:
@@ -136,20 +142,28 @@ def chain_recipes(
                 shuffle=shuffle,
                 kernel=kernel,
                 shards=shards,
+                partition=partition,
             )
         )
     return recipes
 
 
 def build_chain_sampler(
-    recipe: ChainRecipe, shard_workers: int | None = None
+    recipe: ChainRecipe,
+    shard_workers: int | None = None,
+    shard_pool=None,
+    shard_transport: WorkerTransport | None = None,
 ) -> GibbsSampler:
     """Materialize one warm E-step chain from its recipe.
 
     *shard_workers* optionally attaches a shard worker pool to a sharded
     chain (``recipe.shards > 1``) — the distributed-sweep path of
     :func:`~repro.inference.stem.run_stem`; serial and pooled chains are
-    built from the same recipe either way.
+    built from the same recipe either way, and *shard_transport* selects
+    that pool's worker transport.  *shard_pool* instead adopts an
+    externally owned warm pool
+    (:class:`~repro.inference.shard.WarmShardWorkerPool`) whose processes
+    outlive this chain — the streaming estimator's cross-window path.
     """
     if recipe.init_seed is None:
         init_rates = recipe.rates
@@ -165,6 +179,9 @@ def build_chain_sampler(
         kernel=recipe.kernel,
         shards=recipe.shards,
         shard_workers=shard_workers if recipe.shards > 1 else None,
+        shard_partition=recipe.partition,
+        shard_pool=shard_pool if recipe.shards > 1 else None,
+        shard_transport=shard_transport if recipe.shards > 1 else None,
     )
 
 
@@ -242,46 +259,57 @@ def _pool_worker_main(conn, recipes: list[ChainRecipe]) -> None:
 
 
 class PersistentWorkerPool:
-    """Process-lifecycle core shared by the chain and shard worker pools.
+    """Worker-lifecycle core shared by the chain and shard worker pools.
 
     Payload items (chain recipes, shard residents) are assigned to worker
     processes round-robin at construction and never migrate, so the
-    hosting worker is always an implementation detail.  Use as a context
-    manager; on error or exit every worker is joined (and terminated if it
-    does not exit promptly).
+    hosting worker is always an implementation detail.  Workers are
+    started through a :class:`~repro.inference.transport.WorkerTransport`
+    (OS pipes by default, sockets for cross-machine pools) — the message
+    protocol is transport-agnostic.  With ``items=None`` the pool starts
+    *empty* workers that wait for payloads shipped later over the
+    protocol (the warm cross-window pools of
+    :mod:`repro.online.streaming`).  Use as a context manager; on error
+    or exit every worker is joined (and terminated if it does not exit
+    promptly).
     """
 
     #: Prefix of surfaced worker failures; subclasses override.
     _failure_label = "persistent worker"
 
-    def __init__(self, items: list, workers: int | None, worker_main) -> None:
-        if not items:
-            raise InferenceError("need at least one worker payload")
-        n_workers = len(items) if workers is None else int(workers)
-        if n_workers < 1:
-            raise InferenceError(f"need at least one worker, got {workers}")
-        n_workers = min(n_workers, len(items))
-        self.n_items = len(items)
+    def __init__(
+        self,
+        items: list | None,
+        workers: int | None,
+        worker_main,
+        transport: WorkerTransport | None = None,
+    ) -> None:
+        if items is None:
+            if workers is None or int(workers) < 1:
+                raise InferenceError(
+                    f"an empty (warm) pool needs an explicit worker count, got {workers}"
+                )
+            n_workers = int(workers)
+            payloads: list[list] = [[] for _ in range(n_workers)]
+            self.n_items = 0
+        else:
+            if not items:
+                raise InferenceError("need at least one worker payload")
+            n_workers = len(items) if workers is None else int(workers)
+            if n_workers < 1:
+                raise InferenceError(f"need at least one worker, got {workers}")
+            n_workers = min(n_workers, len(items))
+            payloads = [items[w::n_workers] for w in range(n_workers)]
+            self.n_items = len(items)
         self.n_workers = n_workers
-        ctx = multiprocessing.get_context()
-        self._conns = []
-        self._procs = []
+        self.transport = transport if transport is not None else PipeTransport()
+        self._handles = []
         self._closed = False
         try:
-            for w in range(n_workers):
-                assigned = items[w::n_workers]
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, assigned),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
-            for conn in self._conns:
-                self._expect_ok(conn.recv())
+            for payload in payloads:
+                self._handles.append(self.transport.launch(worker_main, payload))
+            for handle in self._handles:
+                self._expect_ok(handle.recv())
         except BaseException:
             self.close()
             raise
@@ -290,27 +318,38 @@ class PersistentWorkerPool:
     # Protocol plumbing.
     # ------------------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """Whether the pool has been shut down (voluntarily or on error)."""
+        return self._closed
+
     def _expect_ok(self, reply):
         if reply[0] == "error":
             self.close()
             raise InferenceError(f"{self._failure_label} failed: {reply[1]}")
         return reply[1]
 
-    def _broadcast(self, message) -> list:
-        """Send one message to every worker; merge keyed replies in order.
+    def _exchange(self, messages: list) -> list:
+        """Send one message *per worker*; merge keyed replies in order.
 
-        Any worker-side error (or a dead pipe) shuts the whole pool down
-        and surfaces as :class:`~repro.errors.InferenceError`.
+        Any worker-side error (or a dead connection) shuts the whole pool
+        down and surfaces as :class:`~repro.errors.InferenceError`.
         """
         if self._closed:
             raise InferenceError("the worker pool is closed")
-        for conn in self._conns:
-            conn.send(message)
         merged: dict[int, object] = {}
         failure: str | None = None
-        for conn in self._conns:
+        delivered = []
+        for handle, message in zip(self._handles, messages, strict=True):
             try:
-                reply = conn.recv()
+                handle.send(message)
+            except (BrokenPipeError, EOFError, OSError):
+                failure = failure or "worker connection died before the request"
+                continue
+            delivered.append(handle)
+        for handle in delivered:
+            try:
+                reply = handle.recv()
             except (EOFError, OSError):
                 failure = failure or "worker exited without replying"
                 continue
@@ -323,6 +362,10 @@ class PersistentWorkerPool:
             raise InferenceError(f"{self._failure_label} failed: {failure}")
         return [merged[index] for index in sorted(merged)]
 
+    def _broadcast(self, message) -> list:
+        """Send the same message to every worker; merge keyed replies."""
+        return self._exchange([message] * len(self._handles))
+
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
@@ -332,21 +375,18 @@ class PersistentWorkerPool:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for handle in self._handles:
             try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
+                handle.send(("close",))
+            except (BrokenPipeError, EOFError, OSError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
+        for handle in self._handles:
+            handle.join(timeout=5.0)
+            if handle.is_alive():
+                handle.terminate()
+                handle.join(timeout=5.0)
+        for handle in self._handles:
+            handle.close_endpoint()
 
     def __enter__(self):
         return self
@@ -369,12 +409,20 @@ class PersistentChainPool(PersistentWorkerPool):
     workers:
         Worker process count; clamped to the number of chains.  Defaults
         to one worker per chain.
+    transport:
+        Worker transport (see :mod:`repro.inference.transport`); defaults
+        to local processes over OS pipes.
     """
 
     _failure_label = "persistent E-step worker"
 
-    def __init__(self, recipes: list[ChainRecipe], workers: int | None = None) -> None:
-        super().__init__(recipes, workers, _pool_worker_main)
+    def __init__(
+        self,
+        recipes: list[ChainRecipe],
+        workers: int | None = None,
+        transport: WorkerTransport | None = None,
+    ) -> None:
+        super().__init__(recipes, workers, _pool_worker_main, transport)
         self.n_chains = self.n_items
 
     # ------------------------------------------------------------------

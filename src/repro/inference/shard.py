@@ -63,6 +63,7 @@ from repro.inference.conditional import (
 )
 from repro.inference.kernel import ArraySweepKernel
 from repro.inference.pool import PersistentWorkerPool
+from repro.inference.transport import WorkerTransport
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_seed_sequence
 
@@ -165,38 +166,15 @@ def partition_tasks(
             assignment[entry_tasks[i]] = s
     weights = task_interaction_graph(events)
     if n_shards > 1 and refine_passes > 0 and weights:
-        neighbors: dict[int, list[tuple[int, int]]] = {}
-        for (a, b), w in weights.items():
-            neighbors.setdefault(a, []).append((b, w))
-            neighbors.setdefault(b, []).append((a, w))
+        neighbors = _neighbor_lists(weights)
         sizes = np.zeros(n_shards, dtype=np.int64)
         for s in assignment.values():
             sizes[s] += 1
-        lo = max(1, int(np.floor((1.0 - balance) * n / n_shards)))
-        hi = max(lo, int(np.ceil((1.0 + balance) * n / n_shards)))
-        for _ in range(refine_passes):
-            moved = False
-            for task in entry_tasks:
-                s = assignment[task]
-                if sizes[s] <= lo:
-                    continue
-                pull = np.zeros(n_shards)
-                for other, w in neighbors.get(task, ()):
-                    pull[assignment[other]] += w
-                best, best_gain = s, 0.0
-                for r in range(n_shards):
-                    if r == s or sizes[r] >= hi:
-                        continue
-                    gain = pull[r] - pull[s]
-                    if gain > best_gain:
-                        best, best_gain = r, gain
-                if best != s:
-                    assignment[task] = best
-                    sizes[s] -= 1
-                    sizes[best] += 1
-                    moved = True
-            if not moved:
-                break
+        lo, hi = _balance_bounds(n, n_shards, balance)
+        _refine_assignment(
+            entry_tasks, assignment, neighbors, sizes, n_shards, lo, hi,
+            refine_passes,
+        )
     cut = sum(
         w for (a, b), w in weights.items() if assignment[a] != assignment[b]
     )
@@ -208,6 +186,179 @@ def partition_tasks(
     return TaskPartition(
         shards=tuple(tuple(block) for block in shards),
         assignment=assignment,
+        cut_size=int(cut),
+    )
+
+
+def _neighbor_lists(
+    weights: dict[tuple[int, int], int]
+) -> dict[int, list[tuple[int, int]]]:
+    """Adjacency lists of the task-interaction graph."""
+    neighbors: dict[int, list[tuple[int, int]]] = {}
+    for (a, b), w in weights.items():
+        neighbors.setdefault(a, []).append((b, w))
+        neighbors.setdefault(b, []).append((a, w))
+    return neighbors
+
+
+def _balance_bounds(n: int, n_shards: int, balance: float) -> tuple[int, int]:
+    """Allowed shard sizes ``±balance`` around the even split."""
+    lo = max(1, int(np.floor((1.0 - balance) * n / n_shards)))
+    hi = max(lo, int(np.ceil((1.0 + balance) * n / n_shards)))
+    return lo, hi
+
+
+def _refine_assignment(
+    entry_tasks: list[int],
+    assignment: dict[int, int],
+    neighbors: dict[int, list[tuple[int, int]]],
+    sizes: np.ndarray,
+    n_shards: int,
+    lo: int,
+    hi: int,
+    refine_passes: int,
+) -> None:
+    """Greedy min-cut passes over *assignment*, in place.
+
+    A task moves to the shard holding most of its interaction weight
+    whenever that strictly shrinks the cut and keeps every shard within
+    the ``[lo, hi]`` size band.  Deterministic: ties break toward the
+    lower shard index.  Shared by the cold partitioner
+    (:func:`partition_tasks`) and the incremental one
+    (:func:`refresh_partition`).
+    """
+    for _ in range(refine_passes):
+        moved = False
+        for task in entry_tasks:
+            s = assignment[task]
+            if sizes[s] <= lo:
+                continue
+            pull = np.zeros(n_shards)
+            for other, w in neighbors.get(task, ()):
+                pull[assignment[other]] += w
+            best, best_gain = s, 0.0
+            for r in range(n_shards):
+                if r == s or sizes[r] >= hi:
+                    continue
+                gain = pull[r] - pull[s]
+                if gain > best_gain:
+                    best, best_gain = r, gain
+            if best != s:
+                assignment[task] = best
+                sizes[s] -= 1
+                sizes[best] += 1
+                moved = True
+        if not moved:
+            break
+
+
+def refresh_partition(
+    events: EventSet,
+    assignment: dict[int, int],
+    n_shards: int,
+    balance: float = 0.3,
+    refine_passes: int = 1,
+) -> TaskPartition:
+    """Incrementally update a previous task partition to cover *events*.
+
+    The streaming estimator's re-partition step: instead of rebuilding
+    entry-contiguous blocks from scratch (which shifts *every* shard as
+    the window slides), surviving tasks keep their previous shard, aged-out
+    tasks are dropped, and newly arrived tasks join the shard holding most
+    of their interaction weight (falling back to the entry-order
+    predecessor's shard, the contiguity heuristic).  A bounded greedy
+    refinement then migrates only tasks whose interaction pull moved —
+    the "diff the interaction graph against the previous plan" step — so
+    shards away from the window edges keep identical task sets and their
+    worker residents can be reused wholesale.
+
+    Shard *indices* are stable by construction (an emptied shard is
+    refilled from the largest one rather than renumbered), because warm
+    worker residency is keyed by shard index.  The result targets the
+    same posterior as any other partition — sharding only reorders the
+    Gibbs scan — so this is a performance choice, never a correctness
+    one.
+
+    Parameters
+    ----------
+    events:
+        The new window's event set (its frozen queue orders define the
+        interaction graph).
+    assignment:
+        The previous window's ``task id -> shard`` map (not mutated).
+        Tasks mapped to shards ``>= n_shards`` are treated as new.
+    n_shards:
+        Shard count; clamped to the task count.
+    balance / refine_passes:
+        As in :func:`partition_tasks`.
+    """
+    if n_shards < 1:
+        raise InferenceError(f"need at least one shard, got {n_shards}")
+    if not 0.0 <= balance < 1.0:
+        raise InferenceError(f"balance must lie in [0, 1), got {balance}")
+    entry_tasks = [int(events.task[e]) for e in events.queue_order(0)]
+    n = len(entry_tasks)
+    n_shards = max(1, min(int(n_shards), n))
+    current = set(entry_tasks)
+    weights = task_interaction_graph(events)
+    neighbors = _neighbor_lists(weights)
+    new_assignment: dict[int, int] = {
+        t: s for t, s in assignment.items() if t in current and 0 <= s < n_shards
+    }
+    sizes = np.zeros(n_shards, dtype=np.int64)
+    for s in new_assignment.values():
+        sizes[s] += 1
+    lo, hi = _balance_bounds(n, n_shards, balance)
+    last_shard = 0
+    for task in entry_tasks:
+        if task in new_assignment:
+            last_shard = new_assignment[task]
+            continue
+        pull = np.zeros(n_shards)
+        for other, w in neighbors.get(task, ()):
+            s = new_assignment.get(other)
+            if s is not None:
+                pull[s] += w
+        best: int | None = None
+        if pull.any():
+            # Most-attached shard with room; ties toward the lower index.
+            for s in np.argsort(-pull, kind="stable"):
+                if sizes[s] < hi:
+                    best = int(s)
+                    break
+        elif sizes[last_shard] < hi:
+            best = last_shard
+        if best is None:
+            best = int(np.argmin(sizes))
+        new_assignment[task] = best
+        sizes[best] += 1
+        last_shard = best
+    # A shard whose tasks all aged out must stay live (worker residency is
+    # keyed by shard index): refill it from the largest shard.
+    for s in range(n_shards):
+        while sizes[s] == 0:
+            donor = int(np.argmax(sizes))
+            for task in reversed(entry_tasks):
+                if new_assignment[task] == donor:
+                    new_assignment[task] = s
+                    sizes[donor] -= 1
+                    sizes[s] += 1
+                    break
+    if n_shards > 1 and refine_passes > 0 and weights:
+        _refine_assignment(
+            entry_tasks, new_assignment, neighbors, sizes, n_shards, lo, hi,
+            refine_passes,
+        )
+    cut = sum(
+        w for (a, b), w in weights.items()
+        if new_assignment[a] != new_assignment[b]
+    )
+    blocks: list[list[int]] = [[] for _ in range(n_shards)]
+    for task in sorted(new_assignment):
+        blocks[new_assignment[task]].append(task)
+    return TaskPartition(
+        shards=tuple(tuple(block) for block in blocks),
+        assignment=dict(new_assignment),
         cut_size=int(cut),
     )
 
@@ -408,6 +559,53 @@ def _own_service_totals(
     return totals
 
 
+def _build_resident(r: ShardResident):
+    """Build one shard's worker-side unit: caches plus the array kernel."""
+    acache = ArrivalBlanketCache(r.sub_state, r.interior_arrivals, r.rates)
+    dcache = DepartureBlanketCache(r.sub_state, r.interior_departures, r.rates)
+    kernel = ArraySweepKernel(
+        r.sub_state, acache, dcache, r.rates, threads=r.threads
+    )
+    return (r, kernel, acache, dcache)
+
+
+def same_shard_structure(a: ShardResident, b: ShardResident) -> bool:
+    """Whether two residents for the same shard share every *static* input.
+
+    The blanket caches and the array kernel's conflict-free batches are
+    pure functions of the sub-trace structure, the move lists, and the
+    threading/shuffle flags — times are read live from the state arrays
+    and rates are re-synced on every sweep command.  When this returns
+    True a warm worker can keep its built kernel and adopt only the new
+    window's time arrays and random stream, producing bitwise the draws a
+    cold rebuild would.
+    """
+    if a.shuffle != b.shuffle or a.threads != b.threads:
+        return False
+    sa, sb = a.sub_state, b.sub_state
+    if sa.n_events != sb.n_events or sa.n_queues != sb.n_queues:
+        return False
+    if not (
+        np.array_equal(sa.task, sb.task)
+        and np.array_equal(sa.seq, sb.seq)
+        and np.array_equal(sa.queue, sb.queue)
+    ):
+        return False
+    for q in range(sa.n_queues):
+        if not np.array_equal(sa.queue_order(q), sb.queue_order(q)):
+            return False
+    for x, y in (
+        (a.interior_arrivals, b.interior_arrivals),
+        (a.interior_departures, b.interior_departures),
+        (a.own_rows, b.own_rows),
+        (a.inbound, b.inbound),
+        (a.frontier, b.frontier),
+    ):
+        if not np.array_equal(x, y):
+            return False
+    return True
+
+
 def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
     """Entry point of one shard worker: build kernels, then serve sweeps.
 
@@ -418,6 +616,15 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
       *n_sweeps* interior sweeps on the resident array kernel, and reply
       with the frontier times, the shard's per-queue service totals, and
       the move counts.
+    * ``("adopt", updates)`` — replace / refresh resident shards for a new
+      estimation window while the process stays warm.  Per shard the
+      payload is ``("resident", r)`` (full rebuild: new structure),
+      ``("times", arrivals, departures, rng)`` (same structure: overwrite
+      the time arrays in place, adopt the new stream, keep the built
+      kernel and caches), or ``("drop",)``.
+    * ``("recall",)`` — ship every shard's own times and its evolved
+      random stream back but *stay alive* with the residents in place
+      (cross-window warm pools); the next ``adopt`` supersedes them.
     * ``("finish",)`` — ship every shard's own times and its evolved
       random stream back, then exit.
     * ``("close",)`` — exit.
@@ -426,16 +633,7 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
     worker so the master can shut the pool down cleanly.
     """
     try:
-        built = {}
-        for r in residents:
-            acache = ArrivalBlanketCache(r.sub_state, r.interior_arrivals, r.rates)
-            dcache = DepartureBlanketCache(
-                r.sub_state, r.interior_departures, r.rates
-            )
-            kernel = ArraySweepKernel(
-                r.sub_state, acache, dcache, r.rates, threads=r.threads
-            )
-            built[r.shard] = (r, kernel, acache, dcache)
+        built = {r.shard: _build_resident(r) for r in residents}
         conn.send(("ready", sorted(built)))
     except BaseException as exc:  # noqa: BLE001 — must cross the pipe
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -476,7 +674,26 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
                         skipped,
                     )
                 conn.send(("ok", out))
-            elif cmd == "finish":
+            elif cmd == "adopt":
+                _, updates = msg
+                out = {}
+                for shard, payload in updates.items():
+                    kind = payload[0]
+                    if kind == "resident":
+                        built[shard] = _build_resident(payload[1])
+                    elif kind == "times":
+                        r = built[shard][0]
+                        _, arr, dep, rng = payload
+                        # In place: the built kernel and caches alias these
+                        # arrays.
+                        r.sub_state.arrival[:] = arr
+                        r.sub_state.departure[:] = dep
+                        r.rng = rng
+                    else:  # "drop"
+                        built.pop(shard, None)
+                    out[shard] = kind
+                conn.send(("ok", out))
+            elif cmd in ("finish", "recall"):
                 out = {
                     shard: (
                         r.sub_state.arrival[r.own_rows].copy(),
@@ -486,7 +703,8 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
                     for shard, (r, _, _, _) in built.items()
                 }
                 conn.send(("ok", out))
-                return
+                if cmd == "finish":
+                    return
             else:  # "close"
                 return
     except BaseException as exc:  # noqa: BLE001 — must cross the pipe
@@ -501,16 +719,22 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
 class ShardWorkerPool(PersistentWorkerPool):
     """Persistent worker processes holding resident shard sub-traces.
 
-    Shards are assigned to workers round-robin and never migrate; a
-    shard's draws are a pure function of its resident random stream, so
-    results are bitwise identical at any worker count (including the
-    in-process engine built from the same plan and streams).
+    Shards are assigned to workers round-robin and never migrate within a
+    window; a shard's draws are a pure function of its resident random
+    stream, so results are bitwise identical at any worker count and over
+    any transport (including the in-process engine built from the same
+    plan and streams).
     """
 
     _failure_label = "shard sweep worker"
 
-    def __init__(self, residents: list[ShardResident], workers: int | None = None):
-        super().__init__(residents, workers, _shard_worker_main)
+    def __init__(
+        self,
+        residents: list[ShardResident] | None,
+        workers: int | None = None,
+        transport: WorkerTransport | None = None,
+    ):
+        super().__init__(residents, workers, _shard_worker_main, transport)
 
     def sweep(self, rates: np.ndarray, n_sweeps: int, inbound: dict) -> list:
         """One super-step on every shard; returns per-shard replies.
@@ -530,6 +754,80 @@ class ShardWorkerPool(PersistentWorkerPool):
         replies = self._broadcast(("finish",))
         self.close()
         return replies
+
+
+class WarmShardWorkerPool(ShardWorkerPool):
+    """A shard worker pool that stays warm *across* estimation windows.
+
+    The streaming estimator's cross-window substrate: worker processes
+    (and their transport connections) are spawned once and then serve a
+    sequence of windows.  Per window the engine hands the pool its freshly
+    built residents via :meth:`adopt`; the pool diffs each shard against
+    what its worker currently hosts and ships the minimal update — shards
+    whose structure is unchanged (the common case away from the window
+    edges under incremental re-partitioning) receive only new time arrays
+    and a new random stream, keeping their built blanket caches and
+    conflict-free kernel batches.  Because the adopted state is identical
+    either way, warm windows are bitwise indistinguishable from cold
+    rebuilds — only faster.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (fixed for the pool's lifetime; shards are
+        hosted by worker ``shard % workers``).
+    transport:
+        Worker transport; defaults to local processes over OS pipes.
+    """
+
+    def __init__(self, workers: int, transport: WorkerTransport | None = None):
+        super().__init__(None, workers, transport)
+        self._hosted: dict[int, ShardResident] = {}
+        #: Per-shard update kind shipped by the last :meth:`adopt`
+        #: (``"resident"`` = full rebuild, ``"times"`` = warm reuse).
+        self.last_adoption: dict[int, str] = {}
+
+    def adopt(self, residents: list[ShardResident]) -> dict[int, str]:
+        """Install a new window's residents, shipping only what changed."""
+        updates: list[dict[int, tuple]] = [{} for _ in range(self.n_workers)]
+        kinds: dict[int, str] = {}
+        hosted: dict[int, ShardResident] = {}
+        for r in residents:
+            worker = r.shard % self.n_workers
+            prev = self._hosted.get(r.shard)
+            if prev is not None and same_shard_structure(prev, r):
+                updates[worker][r.shard] = (
+                    "times",
+                    r.sub_state.arrival,
+                    r.sub_state.departure,
+                    r.rng,
+                )
+                kinds[r.shard] = "times"
+            else:
+                updates[worker][r.shard] = ("resident", r)
+                kinds[r.shard] = "resident"
+            hosted[r.shard] = r
+        for shard in self._hosted:
+            if shard not in hosted:
+                updates[shard % self.n_workers][shard] = ("drop",)
+        self._hosted = hosted
+        self._exchange([("adopt", u) for u in updates])
+        self.last_adoption = kinds
+        return kinds
+
+    def recall(self) -> list:
+        """Pull every shard's own times and stream home; workers stay warm.
+
+        Residents remain hosted so the next window's :meth:`adopt` can
+        still diff against them (a tumbling window over a stable region
+        reuses everything).
+        """
+        return self._broadcast(("recall",))
+
+    def close(self) -> None:
+        """Shut the pool down and forget hosted residents; idempotent."""
+        super().close()
+        self._hosted = {}
 
 
 # ----------------------------------------------------------------------
@@ -563,6 +861,16 @@ class ShardedSweepEngine:
     workers:
         ``None`` runs shards in-process; a positive count attaches a
         :class:`ShardWorkerPool` over that many processes.
+    pool:
+        An externally owned :class:`WarmShardWorkerPool` to adopt the
+        shards instead of spawning a dedicated pool — the streaming
+        estimator's cross-window path.  The engine never closes an
+        external pool; :meth:`finish_workers` recalls state and leaves
+        the workers warm for the next window.  Ignored when the effective
+        shard count is 1 (tiny windows fall back to the plain kernel).
+    transport:
+        Worker transport for a dedicated pool (see
+        :mod:`repro.inference.transport`); pipes by default.
     """
 
     def __init__(
@@ -576,6 +884,8 @@ class ShardedSweepEngine:
         threads: int = 1,
         workers: int | None = None,
         partition: TaskPartition | None = None,
+        pool: "WarmShardWorkerPool | None" = None,
+        transport: WorkerTransport | None = None,
     ) -> None:
         self.trace = trace
         self.shuffle = bool(shuffle)
@@ -603,10 +913,19 @@ class ShardedSweepEngine:
             for s in range(self.n_shards)
         ]
         self._pool: ShardWorkerPool | None = None
+        self._owns_pool = True
         self._last_shard_totals: np.ndarray | None = None
-        if workers is not None and self.n_shards > 1:
+        #: Per-shard adoption kinds when attached to an external warm pool
+        #: (``"times"`` entries mark shards whose kernels were reused).
+        self.adoption: dict[int, str] = {}
+        if pool is not None and self.n_shards > 1:
             self._build_master(state, build_kernels=False)
-            self._attach_workers(state, int(workers))
+            self._pool = pool
+            self._owns_pool = False
+            self.adoption = pool.adopt(self._build_residents(state))
+        elif workers is not None and self.n_shards > 1:
+            self._build_master(state, build_kernels=False)
+            self._attach_workers(state, int(workers), transport)
         else:
             self._build_master(state, build_kernels=True)
 
@@ -627,19 +946,24 @@ class ShardedSweepEngine:
         self._bd_slots = np.arange(plan.boundary_departures.size)
         self._kernels: list[ArraySweepKernel] | None = None
         if build_kernels:
-            self._kernels = []
-            for s in range(self.n_shards):
-                acache = ArrivalBlanketCache(
-                    state, plan.interior_arrivals[s], self._rates
+            self._build_shard_kernels(state)
+
+    def _build_shard_kernels(self, state: EventSet) -> None:
+        """Per-shard restricted caches + array kernels (in-process sweeps)."""
+        plan = self.plan
+        self._kernels = []
+        for s in range(self.n_shards):
+            acache = ArrivalBlanketCache(
+                state, plan.interior_arrivals[s], self._rates
+            )
+            dcache = DepartureBlanketCache(
+                state, plan.interior_departures[s], self._rates
+            )
+            self._kernels.append(
+                ArraySweepKernel(
+                    state, acache, dcache, self._rates, threads=self.threads
                 )
-                dcache = DepartureBlanketCache(
-                    state, plan.interior_departures[s], self._rates
-                )
-                self._kernels.append(
-                    ArraySweepKernel(
-                        state, acache, dcache, self._rates, threads=self.threads
-                    )
-                )
+            )
 
     def _ghost_tasks(self, state: EventSet, shard: int) -> set[int]:
         """Foreign tasks whose events are ``rho`` predecessors of own events.
@@ -655,7 +979,8 @@ class ShardedSweepEngine:
         foreign = preds[self.plan.shard_of_event[preds] != shard]
         return {int(t) for t in state.task[foreign]}
 
-    def _attach_workers(self, state: EventSet, workers: int) -> None:
+    def _build_residents(self, state: EventSet) -> list[ShardResident]:
+        """One picklable resident per shard, plus the master's index maps."""
         plan = self.plan
         residents = []
         self._frontier_full = []
@@ -688,7 +1013,15 @@ class ShardedSweepEngine:
         # The masters' copies of the shard streams go stale the moment the
         # workers draw from theirs; finish_workers() restores them.
         self._shard_rngs = None
-        self._pool = ShardWorkerPool(residents, workers=workers)
+        return residents
+
+    def _attach_workers(
+        self, state: EventSet, workers: int,
+        transport: WorkerTransport | None = None,
+    ) -> None:
+        self._pool = ShardWorkerPool(
+            self._build_residents(state), workers=workers, transport=transport
+        )
 
     # ------------------------------------------------------------------
     # Parameters and structure.
@@ -742,9 +1075,21 @@ class ShardedSweepEngine:
             return self._pooled_sweep(state)
         return self._serial_sweep(state, rng)
 
+    def _ensure_kernels(self, state: EventSet) -> None:
+        """Build the per-shard master kernels on first in-process use.
+
+        :meth:`finish_workers` defers this: a streaming window ends with
+        a finish but never sweeps in-process again, so eagerly rebuilding
+        every shard's caches and conflict-free batches there would pay
+        the exact cost the warm workers just avoided.
+        """
+        if self._kernels is None:
+            self._build_shard_kernels(state)
+
     def _serial_sweep(
         self, state: EventSet, rng: np.random.Generator
     ) -> tuple[int, int]:
+        self._ensure_kernels(state)
         moves, skipped = self._boundary_pass(state, self._boundary_rng or rng)
         for s in range(self.n_shards):
             shard_rng = self._shard_rngs[s] if self._shard_rngs is not None else rng
@@ -828,6 +1173,7 @@ class ShardedSweepEngine:
         if self.pooled:
             raise InferenceError("profiling runs on the in-process engine")
         self._ensure_fresh(state)
+        self._ensure_kernels(state)
         t0 = time.perf_counter()
         self._boundary_pass(state, self._boundary_rng or rng)
         boundary = time.perf_counter() - t0
@@ -873,11 +1219,16 @@ class ShardedSweepEngine:
         generators are adopted, so subsequent in-process sweeps continue
         the exact random streams — a pooled run followed by
         ``finish_workers`` is bitwise indistinguishable from a run that
-        was in-process all along.
+        was in-process all along.  A dedicated pool is closed; an external
+        warm pool is only *recalled* — its processes stay alive for the
+        next window.
         """
         if not self.pooled:
             return
-        replies = self._pool.finish()
+        if self._owns_pool:
+            replies = self._pool.finish()
+        else:
+            replies = self._pool.recall()
         self._pool = None
         rngs = []
         for s, (arr, dep, rng) in enumerate(replies):
@@ -887,10 +1238,19 @@ class ShardedSweepEngine:
             rngs.append(rng)
         self._shard_rngs = rngs
         self._last_shard_totals = None
-        self._build_master(state, build_kernels=True)
+        # Boundary caches are rebuilt now (cheap, and needed by any
+        # subsequent set_rates); the per-shard kernels are deferred to the
+        # first in-process sweep — a streaming window that finishes and is
+        # discarded never pays for them.
+        self._build_master(state, build_kernels=False)
 
     def close(self) -> None:
-        """Drop any attached workers without syncing state; idempotent."""
+        """Drop any attached workers without syncing state; idempotent.
+
+        Never closes an externally owned warm pool — its owner decides
+        when the cross-window workers die.
+        """
         if self._pool is not None:
-            self._pool.close()
+            if self._owns_pool:
+                self._pool.close()
             self._pool = None

@@ -95,6 +95,9 @@ def run_stem(
     kernel: str = "array",
     persistent_workers: int | None = None,
     shards: int = 1,
+    shard_pool=None,
+    shard_partition=None,
+    shard_transport=None,
 ) -> StEMResult:
     """Estimate ``lambda`` and all ``mu_q`` from an incomplete trace.
 
@@ -149,6 +152,23 @@ def run_stem(
         process boundary) — bitwise identical to the in-process sharded
         run at any worker count.  With multiple chains, each worker hosts
         whole (sharded) chains as usual.
+    shard_pool:
+        An externally owned
+        :class:`~repro.inference.shard.WarmShardWorkerPool` that hosts
+        the (single) chain's shards for this run and stays alive
+        afterwards — the streaming estimator's cross-window warm path.
+        Requires ``n_chains == 1`` and is mutually exclusive with
+        ``persistent_workers``; results are bitwise identical to every
+        other execution mode at the same seed.
+    shard_partition:
+        Optional pre-computed task partition for the sharded sweeps (the
+        incremental re-partition of :mod:`repro.online.streaming`);
+        ``None`` partitions from scratch.
+    shard_transport:
+        Worker transport for the dedicated shard pool of the
+        ``persistent_workers``-with-``shards`` path (see
+        :mod:`repro.inference.transport`); pipes by default.  An external
+        ``shard_pool`` carries its own transport instead.
     """
     if n_iterations < 1:
         raise InferenceError(f"need at least one iteration, got {n_iterations}")
@@ -156,6 +176,20 @@ def run_stem(
         raise InferenceError(f"need at least one chain, got {n_chains}")
     if shards < 1:
         raise InferenceError(f"need at least one shard, got {shards}")
+    if shard_pool is not None and persistent_workers:
+        raise InferenceError(
+            "pass either persistent_workers or an external shard_pool, not both"
+        )
+    if shard_pool is not None and n_chains != 1:
+        raise InferenceError(
+            "an external shard pool hosts exactly one chain's shards; "
+            f"got n_chains={n_chains}"
+        )
+    if shard_pool is not None and shards == 1:
+        raise InferenceError(
+            "an external shard pool requires shards > 1 — with a single "
+            "shard the sweep runs in-process and the pool would idle"
+        )
     if burn_in is None:
         burn_in = n_iterations // 2
     if not 0 <= burn_in < n_iterations:
@@ -169,7 +203,7 @@ def run_stem(
     )
     recipes = chain_recipes(
         trace, rates, init_method, n_chains, jitter, random_state, shuffle, kernel,
-        shards=shards,
+        shards=shards, partition=shard_partition,
     )
     counts = trace.skeleton.events_per_queue().astype(float)
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))
@@ -192,6 +226,8 @@ def run_stem(
             build_chain_sampler(
                 recipe,
                 shard_workers=persistent_workers if shard_pool_run else None,
+                shard_pool=shard_pool,
+                shard_transport=shard_transport if shard_pool_run else None,
             )
             for recipe in recipes
         ]

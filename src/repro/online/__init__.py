@@ -1,21 +1,44 @@
-"""Online (windowed) inference and anomaly detection.
+"""Online (windowed and streaming) inference and anomaly detection.
 
 Paper Section 6 names "online, distributed inference" as the most useful
 future direction, and the introduction motivates the whole enterprise
 with anomaly detection and diagnosis of *past* performance problems.
-This package implements the natural first step: slide a time window over
-the trace, rerun StEM per window against the same partial-observation
-regime, and monitor the resulting per-queue rate series for change
-points — "five minutes ago, a brief spike occurred; which component was
-the bottleneck?" becomes a lookup into the window series.
+This package implements that direction in two stages:
+
+* :mod:`repro.online.windowed` — slide a time window over a recorded
+  trace, rerun StEM per window against the same partial-observation
+  regime, and monitor the resulting per-queue rate series for change
+  points — "five minutes ago, a brief spike occurred; which component
+  was the bottleneck?" becomes a lookup into the window series.
+* :mod:`repro.online.streaming` — the online form: consume an
+  incrementally revealed trace (:class:`~repro.online.streaming.TraceStream`),
+  keep shard worker processes and their built kernels warm *across*
+  windows, and re-partition incrementally as tasks arrive and age out.
+  A frozen window matches the windowed estimator bitwise at the same
+  seed; warm windows only skip rebuild work, never change a draw.
 """
 
-from repro.online.windowed import WindowEstimate, WindowedEstimator
+from repro.online.windowed import (
+    WindowEstimate,
+    WindowedEstimator,
+    task_fully_observed,
+)
+from repro.online.streaming import (
+    ReplayTraceStream,
+    StreamEstimate,
+    StreamingEstimator,
+    TraceStream,
+)
 from repro.online.anomaly import AnomalyReport, detect_anomalies
 
 __all__ = [
     "WindowedEstimator",
     "WindowEstimate",
+    "task_fully_observed",
+    "StreamingEstimator",
+    "StreamEstimate",
+    "TraceStream",
+    "ReplayTraceStream",
     "detect_anomalies",
     "AnomalyReport",
 ]

@@ -1,0 +1,425 @@
+"""Streaming sharded estimation over an incrementally revealed trace.
+
+The windowed estimator answers "what were the rates five minutes ago?"
+by rebuilding *everything* per window — sub-trace, shard plan, worker
+processes, blanket caches, kernels — even though consecutive windows
+share almost all of their tasks.  This module is the online form the
+paper points at: a :class:`TraceStream` reveals tasks as they enter the
+system, a :class:`StreamingEstimator` slides a window over the revealed
+prefix, and the expensive state is kept **warm across windows**:
+
+* worker processes and their transport connections live in a
+  :class:`~repro.inference.shard.WarmShardWorkerPool` for the whole
+  stream — spawned once, never per window;
+* the task partition is updated *incrementally*
+  (:func:`~repro.inference.shard.refresh_partition`): surviving tasks
+  keep their shard, arrivals join the shard pulling hardest on them,
+  age-outs are dropped — so shards away from the window edges keep
+  identical task sets and their workers keep their built blanket caches
+  and conflict-free kernel batches, adopting only fresh time arrays;
+* per-window bookkeeping (entry-time estimates, observed-task checks,
+  sub-trace restriction via :class:`~repro.events.subset.SubsetIndex`)
+  is O(window), independent of how much trace has already streamed past.
+
+Equivalence contract (pinned by ``tests/test_streaming.py``): a frozen
+window processed by the streaming path is **bitwise identical** to
+:class:`~repro.online.windowed.WindowedEstimator` on the same sub-trace
+at the same seed, for any worker count and any transport; with
+``repartition="cold"`` this holds for *every* window of the stream.
+Under incremental re-partitioning later windows use a different (equally
+exact) scan order, so their estimates agree statistically rather than
+bitwise — sharding never changes the posterior, only the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.events.subset import SubsetIndex, subset_trace
+from repro.inference import run_stem
+from repro.inference.shard import (
+    WarmShardWorkerPool,
+    partition_tasks,
+    refresh_partition,
+)
+from repro.inference.transport import WorkerTransport
+from repro.observation import ObservedTrace
+from repro.online.windowed import (
+    WindowEstimate,
+    _entry_time_estimates,
+    task_fully_observed,
+    validate_window_params,
+)
+from repro.rng import RandomState, as_seed_sequence, spawn
+
+#: Re-partitioning policies of :class:`StreamingEstimator`.
+REPARTITION_MODES = ("incremental", "cold")
+
+
+class TraceStream:
+    """An incrementally revealed censored trace.
+
+    Subclasses reveal tasks in (estimated) system-entry order; the
+    estimator only ever touches tasks the stream has revealed, which is
+    what makes the adapter honest about what an online deployment could
+    know.  A live source would accumulate measurements into a growing
+    :class:`~repro.observation.ObservedTrace`; :class:`ReplayTraceStream`
+    replays a recorded one for tests and benchmarks.
+    """
+
+    @property
+    def trace(self) -> ObservedTrace:
+        """Backing store of everything revealed so far."""
+        raise NotImplementedError
+
+    @property
+    def horizon(self) -> float:
+        """Largest (estimated) entry time currently known to the stream.
+
+        Fixed for a replay source; a live adapter may keep advancing it
+        as tasks enter — the estimator re-reads it before every window,
+        so the window grid simply grows with the stream.
+        """
+        raise NotImplementedError
+
+    def poll(self, until: float) -> list[tuple[int, float]]:
+        """Reveal ``(task id, entry time)`` pairs with entry < *until*."""
+        raise NotImplementedError
+
+    def subset(self, task_ids) -> ObservedTrace:
+        """Sub-trace over already revealed tasks."""
+        raise NotImplementedError
+
+    def exhausted(self) -> bool:
+        """Whether every task has been revealed."""
+        raise NotImplementedError
+
+
+class ReplayTraceStream(TraceStream):
+    """Replays a recorded censored trace in estimated entry order.
+
+    The replay source for tests and benchmarks — and the reference
+    semantics for live adapters: entry times come from the same
+    interpolation the windowed estimator uses, tasks are revealed in
+    entry order, and sub-traces are restricted through a
+    :class:`~repro.events.subset.SubsetIndex` so each window costs
+    O(window) regardless of the full trace length.
+    """
+
+    def __init__(self, trace: ObservedTrace) -> None:
+        self._trace = trace
+        self._entries = _entry_time_estimates(trace)
+        # Entry estimates are non-decreasing along the queue-0 order (the
+        # anchors are the frozen entry order's own times), so revelation
+        # is a cursor over this list.
+        self._pending = list(self._entries.items())
+        self._cursor = 0
+        self._index = SubsetIndex(trace.skeleton)
+
+    @property
+    def trace(self) -> ObservedTrace:
+        return self._trace
+
+    @property
+    def horizon(self) -> float:
+        return max(self._entries.values())
+
+    @property
+    def n_revealed(self) -> int:
+        """Tasks revealed so far."""
+        return self._cursor
+
+    def poll(self, until: float) -> list[tuple[int, float]]:
+        out: list[tuple[int, float]] = []
+        while (
+            self._cursor < len(self._pending)
+            and self._pending[self._cursor][1] < until
+        ):
+            out.append(self._pending[self._cursor])
+            self._cursor += 1
+        return out
+
+    def subset(self, task_ids) -> ObservedTrace:
+        return subset_trace(self._trace, task_ids, index=self._index)
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._pending)
+
+
+@dataclass
+class StreamEstimate(WindowEstimate):
+    """A :class:`~repro.online.windowed.WindowEstimate` plus stream facts.
+
+    Attributes
+    ----------
+    n_new_tasks / n_aged_out:
+        Tasks the stream revealed for this window / tasks that slid out
+        of reach before it.
+    n_shards:
+        Effective shard count of the window's sweeps (clamped to the
+        window's task count).
+    n_warm_shards / n_migrated_shards:
+        Under a warm worker pool: shards whose resident structure was
+        unchanged (workers kept their kernels, adopting only fresh times
+        and streams) versus shards shipped as full rebuilds.
+    """
+
+    n_new_tasks: int = 0
+    n_aged_out: int = 0
+    n_shards: int = 1
+    n_warm_shards: int = 0
+    n_migrated_shards: int = 0
+
+
+class StreamingEstimator:
+    """Sliding-window StEM over a :class:`TraceStream` with warm workers.
+
+    Parameters
+    ----------
+    stream:
+        The revealed trace (a :class:`ReplayTraceStream` for recorded
+        data).
+    window / step / stem_iterations / min_observed_tasks / random_state:
+        As in :class:`~repro.online.windowed.WindowedEstimator` — and
+        seeded identically: window *i* consumes the *i*-th spawn of the
+        seed material, so a frozen window matches the windowed path
+        bitwise.
+    shards:
+        Sharded sweeps per window (clamped to each window's task count).
+    shard_workers:
+        With ``shards > 1``: host the shard sweeps on this many worker
+        processes.  Warm by default (one
+        :class:`~repro.inference.shard.WarmShardWorkerPool` for the whole
+        stream); ``warm_workers=False`` spawns and tears down a dedicated
+        pool per window instead — the cold-rebuild baseline the streaming
+        design exists to beat (``benchmarks/bench_streaming.py`` asserts
+        it does).  Results are bitwise identical either way.
+    transport:
+        Worker transport for the pool (see
+        :mod:`repro.inference.transport`); pipes by default, sockets for
+        cross-machine workers.  The estimator takes ownership: its
+        :meth:`close` (and therefore :meth:`run`) also closes the
+        transport, releasing e.g. a
+        :class:`~repro.inference.transport.SocketTransport` listener.
+    repartition:
+        ``"incremental"`` (default) carries the task partition across
+        windows via
+        :func:`~repro.inference.shard.refresh_partition`, maximizing
+        warm-shard reuse; ``"cold"`` re-partitions every window from
+        scratch, which keeps every window bitwise equal to the windowed
+        estimator (the equivalence-test mode).
+    """
+
+    def __init__(
+        self,
+        stream: TraceStream,
+        window: float,
+        step: float | None = None,
+        stem_iterations: int = 40,
+        min_observed_tasks: int = 3,
+        random_state: RandomState = None,
+        shards: int = 1,
+        shard_workers: int | None = None,
+        transport: WorkerTransport | None = None,
+        repartition: str = "incremental",
+        warm_workers: bool = True,
+    ) -> None:
+        validate_window_params(window, step, stem_iterations, shards)
+        if shard_workers is not None and shard_workers < 1:
+            raise InferenceError(
+                f"need at least one shard worker, got {shard_workers}"
+            )
+        if shard_workers is not None and shards == 1:
+            raise InferenceError(
+                "shard_workers requires shards > 1 — with a single shard the "
+                "whole sweep runs in-process and no worker would ever spawn"
+            )
+        if repartition not in REPARTITION_MODES:
+            raise InferenceError(
+                f"repartition must be one of {REPARTITION_MODES}, "
+                f"got {repartition!r}"
+            )
+        self.stream = stream
+        self.window = float(window)
+        self.step = float(step) if step is not None else float(window)
+        self.stem_iterations = int(stem_iterations)
+        self.min_observed_tasks = int(min_observed_tasks)
+        self.shards = int(shards)
+        self.shard_workers = shard_workers
+        self.transport = transport
+        self.repartition = repartition
+        self.warm_workers = bool(warm_workers)
+        # One child per window, spawned lazily from the same sequence the
+        # windowed estimator spawns up front — identical streams without
+        # knowing the window count in advance.
+        self._seed_seq = as_seed_sequence(random_state)
+        self._entries: dict[int, float] = {}
+        self._observed: dict[int, bool] = {}
+        self._assignment: dict[int, int] = {}
+        self._prev_n_shards = 0
+        self._pool: WarmShardWorkerPool | None = None
+        self.n_windows_done = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def pooled(self) -> bool:
+        """Whether a warm worker pool is currently alive."""
+        return self._pool is not None and not self._pool.closed
+
+    def _ensure_pool(self) -> WarmShardWorkerPool | None:
+        if self.shards <= 1 or not self.shard_workers or not self.warm_workers:
+            return None
+        if self._pool is None or self._pool.closed:
+            # Clamp like the dedicated pools do: a worker beyond the shard
+            # count could never host a shard, only idle for the stream.
+            self._pool = WarmShardWorkerPool(
+                min(self.shard_workers, self.shards), transport=self.transport
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool and the owned transport down; idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self.transport is not None:
+            self.transport.close()
+
+    def __enter__(self) -> "StreamingEstimator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Window processing.
+    # ------------------------------------------------------------------
+
+    def _next_stream(self) -> np.random.Generator:
+        # One incremental spawn from the preserved SeedSequence — the same
+        # child the windowed estimator's up-front spawn(n) hands window i.
+        return spawn(self._seed_seq, 1)[0]
+
+    def _task_observed(self, task_id: int) -> bool:
+        # Only a True verdict is cacheable: a live stream's measurements
+        # may still be landing when a task is first revealed, so "not yet
+        # fully observed" can flip to True between overlapping windows —
+        # observed events are never un-observed, so True is final.
+        if self._observed.get(task_id):
+            return True
+        hit = task_fully_observed(self.stream.trace, task_id)
+        if hit:
+            self._observed[task_id] = True
+        return hit
+
+    def _window_partition(self, skeleton, n_tasks: int):
+        """The window's task partition, carried across windows when warm."""
+        if self.shards <= 1 or self.repartition == "cold":
+            self._assignment = {}
+            return None  # the engine partitions from scratch
+        n_shards = min(self.shards, n_tasks)
+        if self._assignment and self._prev_n_shards == n_shards:
+            part = refresh_partition(skeleton, self._assignment, n_shards)
+        else:
+            part = partition_tasks(skeleton, n_shards)
+        self._assignment = dict(part.assignment)
+        self._prev_n_shards = part.n_shards
+        return part
+
+    def process_window(self, t0: float) -> StreamEstimate:
+        """Advance the stream past ``t0 + window`` and estimate the window."""
+        t0 = float(t0)
+        t1 = t0 + self.window
+        arrived = self.stream.poll(t1)
+        for task, entry in arrived:
+            self._entries[task] = entry
+        aged = [k for k, t in self._entries.items() if t < t0]
+        for k in aged:
+            # The partition map needs no pruning here: refresh_partition
+            # filters to the window's tasks itself.
+            del self._entries[k]
+            self._observed.pop(k, None)
+        tasks = [k for k, t in self._entries.items() if t0 <= t < t1]
+        n_observed = sum(self._task_observed(k) for k in tasks)
+        stream_rng = self._next_stream()  # consumed per window, like windowed
+        self.n_windows_done += 1
+        if len(tasks) < 2 or n_observed < self.min_observed_tasks:
+            return StreamEstimate(
+                t0, t1, len(tasks), n_observed, None,
+                n_new_tasks=len(arrived), n_aged_out=len(aged),
+            )
+        window_trace = self.stream.subset(tasks)
+        partition = self._window_partition(window_trace.skeleton, len(tasks))
+        n_shards = (
+            partition.n_shards if partition is not None
+            else min(self.shards, len(tasks))
+        )
+        pool = self._ensure_pool()
+        if pool is not None:
+            pool.last_adoption = {}
+        cold_workers = (
+            self.shard_workers
+            if (self.shard_workers and self.shards > 1 and not self.warm_workers)
+            else None
+        )
+        rates = None
+        failure = None
+        try:
+            stem = run_stem(
+                window_trace,
+                n_iterations=self.stem_iterations,
+                init_method="heuristic",
+                random_state=stream_rng,
+                shards=self.shards,
+                shard_partition=partition,
+                shard_pool=pool,
+                persistent_workers=cold_workers,
+                shard_transport=self.transport if cold_workers else None,
+            )
+            rates = stem.rates
+        except InferenceError as exc:  # a failed window is data, not a crash
+            failure = str(exc)
+        adoption = pool.last_adoption if pool is not None else {}
+        return StreamEstimate(
+            t0, t1, len(tasks), n_observed, rates, failure,
+            n_new_tasks=len(arrived),
+            n_aged_out=len(aged),
+            n_shards=n_shards,
+            n_warm_shards=sum(1 for k in adoption.values() if k == "times"),
+            n_migrated_shards=sum(
+                1 for k in adoption.values() if k == "resident"
+            ),
+        )
+
+    def estimates(self):
+        """Process every window of the stream, yielding as they complete.
+
+        The window grid is the windowed estimator's ``np.arange(0,
+        horizon, step)`` — reproduced lazily (``arange`` materializes
+        ``ceil(horizon / step)`` points at ``i * step``), with the
+        stream's horizon re-read before every window.  A replay source's
+        horizon is fixed, so this enumerates exactly the windowed grid; a
+        live adapter's horizon may keep advancing, and the generator
+        simply keeps producing windows until it stops.
+        """
+        i = 0
+        while True:
+            horizon = self.stream.horizon
+            n_known = int(np.ceil(horizon / self.step)) if horizon > 0.0 else 0
+            if i >= n_known:
+                return
+            yield self.process_window(float(i * self.step))
+            i += 1
+
+    def run(self) -> list[StreamEstimate]:
+        """Consume the whole stream; closes the worker pool afterwards."""
+        try:
+            return list(self.estimates())
+        finally:
+            self.close()

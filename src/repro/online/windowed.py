@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import InferenceError
-from repro.events.subset import subset_trace
+from repro.events.subset import SubsetIndex, subset_trace
 from repro.inference import run_stem
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, spawn
@@ -26,7 +26,11 @@ class WindowEstimate:
         them are fully observed.
     rates:
         StEM rate estimate for the window (index 0 = arrival rate), or
-        ``None`` when the window held too little observed data.
+        ``None`` when the window held too little observed data or its
+        estimation failed.
+    failure:
+        Why estimation failed (the :class:`~repro.errors.InferenceError`
+        message), or ``None`` for successful and skipped windows alike.
     """
 
     t_start: float
@@ -34,6 +38,7 @@ class WindowEstimate:
     n_tasks: int
     n_observed_tasks: int
     rates: np.ndarray | None
+    failure: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -64,6 +69,37 @@ def _entry_time_estimates(trace: ObservedTrace) -> dict[int, float]:
     positions = np.arange(order.size, dtype=float)
     entries = np.interp(positions, positions[known], entries[known])
     return {int(skeleton.task[e]): float(entries[i]) for i, e in enumerate(order)}
+
+
+def validate_window_params(
+    window: float, step: float | None, stem_iterations: int, shards: int
+) -> None:
+    """The window-estimation parameter contract, shared by the windowed
+    and streaming estimators so the two can never drift apart."""
+    if window <= 0.0:
+        raise InferenceError(f"window must be positive, got {window}")
+    if step is not None and step <= 0.0:
+        raise InferenceError(f"step must be positive, got {step}")
+    if stem_iterations < 1:
+        # Rejected here, not per window: otherwise run_stem's own
+        # validation error would be misread as every window failing.
+        raise InferenceError(
+            f"need at least one StEM iteration, got {stem_iterations}"
+        )
+    if shards < 1:
+        raise InferenceError(f"need at least one shard, got {shards}")
+
+
+def task_fully_observed(trace: ObservedTrace, task_id: int) -> bool:
+    """Whether every non-initial arrival of *task_id* was measured.
+
+    The per-window "observed task" count of the windowed and streaming
+    estimators — one definition so the two paths can never disagree.
+    """
+    skeleton = trace.skeleton
+    idx = skeleton.events_of_task(task_id)
+    non_init = idx[skeleton.seq[idx] != 0]
+    return bool(np.all(trace.arrival_observed[non_init]))
 
 
 class WindowedEstimator:
@@ -100,12 +136,7 @@ class WindowedEstimator:
         random_state: RandomState = None,
         shards: int = 1,
     ) -> None:
-        if window <= 0.0:
-            raise InferenceError(f"window must be positive, got {window}")
-        if step is not None and step <= 0.0:
-            raise InferenceError(f"step must be positive, got {step}")
-        if shards < 1:
-            raise InferenceError(f"need at least one shard, got {shards}")
+        validate_window_params(window, step, stem_iterations, shards)
         self.trace = trace
         self.window = float(window)
         self.step = float(step) if step is not None else float(window)
@@ -114,15 +145,19 @@ class WindowedEstimator:
         self._random_state = random_state
         self.shards = int(shards)
         self._entries = _entry_time_estimates(trace)
+        self._subset_index = SubsetIndex(trace.skeleton)
 
     def _task_observed(self, task_id: int) -> bool:
-        skeleton = self.trace.skeleton
-        idx = skeleton.events_of_task(task_id)
-        non_init = idx[skeleton.seq[idx] != 0]
-        return bool(np.all(self.trace.arrival_observed[non_init]))
+        return task_fully_observed(self.trace, task_id)
 
     def run(self) -> list[WindowEstimate]:
-        """Estimate every window; returns them in time order."""
+        """Estimate every window; returns them in time order.
+
+        A window whose StEM run raises
+        :class:`~repro.errors.InferenceError` is recorded as a failed
+        window (``rates=None``, the reason on ``failure``) — a failed
+        window is data, not a crash.  Programming errors propagate.
+        """
         horizon = max(self._entries.values())
         starts = np.arange(0.0, horizon, self.step)
         streams = iter(spawn(self._random_state, max(len(starts), 1)))
@@ -135,7 +170,9 @@ class WindowedEstimator:
             if len(tasks) < 2 or n_observed < self.min_observed_tasks:
                 results.append(WindowEstimate(t0, t1, len(tasks), n_observed, None))
                 continue
-            window_trace = subset_trace(self.trace, tasks)
+            window_trace = subset_trace(self.trace, tasks, index=self._subset_index)
+            rates = None
+            failure = None
             try:
                 stem = run_stem(
                     window_trace,
@@ -145,9 +182,9 @@ class WindowedEstimator:
                     shards=self.shards,
                 )
                 rates = stem.rates
-            except Exception:  # noqa: BLE001 — a failed window is data, not a crash
-                rates = None
+            except InferenceError as exc:
+                failure = str(exc)
             results.append(
-                WindowEstimate(t0, t1, len(tasks), n_observed, rates)
+                WindowEstimate(t0, t1, len(tasks), n_observed, rates, failure)
             )
         return results

@@ -124,3 +124,68 @@ class TestSubsetTrace:
         sub = subset_trace(trace, tandem_sim.events.task_ids[:60])
         stem = run_stem(sub, n_iterations=25, random_state=2, init_method="heuristic")
         assert np.all(np.isfinite(stem.rates))
+
+
+class TestSubsetIndex:
+    """The O(window) repeated-subsetting fast path of the online estimators."""
+
+    def test_bitwise_identical_to_subset_tasks(self, tandem_sim):
+        from repro.events.subset import SubsetIndex
+
+        ev = tandem_sim.events
+        index = SubsetIndex(ev)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            size = int(rng.integers(1, ev.n_tasks))
+            chosen = rng.choice(ev.task_ids, size=size, replace=False).tolist()
+            fast, kept_fast = index.subset_tasks(chosen)
+            slow, kept_slow = subset_tasks(ev, chosen)
+            np.testing.assert_array_equal(kept_fast, kept_slow)
+            for name in ("task", "seq", "queue", "arrival", "departure",
+                         "state", "rho", "rho_inv", "pi", "pi_inv"):
+                np.testing.assert_array_equal(
+                    getattr(fast, name), getattr(slow, name), err_msg=name
+                )
+            for q in range(ev.n_queues):
+                np.testing.assert_array_equal(
+                    fast.queue_order(q), slow.queue_order(q)
+                )
+
+    def test_indexed_subset_trace_matches(self, tandem_sim):
+        from repro.events.subset import SubsetIndex
+
+        trace = TaskSampling(fraction=0.3).observe(tandem_sim.events, random_state=0)
+        index = SubsetIndex(trace.skeleton)
+        chosen = tandem_sim.events.task_ids[10:40]
+        fast = subset_trace(trace, chosen, index=index)
+        slow = subset_trace(trace, chosen)
+        np.testing.assert_array_equal(fast.arrival_observed, slow.arrival_observed)
+        np.testing.assert_array_equal(fast.departure_observed, slow.departure_observed)
+        np.testing.assert_array_equal(fast.skeleton.arrival, slow.skeleton.arrival)
+
+    def test_rejects_empty(self, tandem_sim):
+        from repro.events.subset import SubsetIndex
+
+        with pytest.raises(InvalidEventSetError):
+            SubsetIndex(tandem_sim.events).subset_tasks([])
+
+    def test_rejects_structurally_mutated_event_set(self, tandem_sim):
+        """A path-MH queue reassignment invalidates the cached positions;
+        the index must refuse rather than return a silently wrong order."""
+        from repro.events.subset import SubsetIndex
+
+        ev = tandem_sim.events.copy()
+        index = SubsetIndex(ev)
+        movable = int(np.flatnonzero(ev.seq == 1)[0])
+        target = 2 if ev.queue[movable] != 2 else 1
+        ev.reassign_queue(movable, target)
+        with pytest.raises(InvalidEventSetError, match="stale"):
+            index.subset_tasks(ev.task_ids[:5])
+
+    def test_subset_trace_rejects_foreign_index(self, tandem_sim, three_tier_sim):
+        from repro.events.subset import SubsetIndex
+
+        trace = TaskSampling(fraction=0.3).observe(tandem_sim.events, random_state=0)
+        foreign = SubsetIndex(three_tier_sim.events)
+        with pytest.raises(InvalidEventSetError, match="different event set"):
+            subset_trace(trace, tandem_sim.events.task_ids[:5], index=foreign)

@@ -118,12 +118,28 @@ class TestPoolMechanics:
         with pytest.raises(InferenceError, match="persistent E-step worker failed"):
             # set_rates inside the worker rejects the negative rate.
             pool.step(np.array([4.0, -6.0, 9.0]))
-        assert pool._closed
-        for proc in pool._procs:
-            assert not proc.is_alive()
+        assert pool.closed
+        for handle in pool._handles:
+            assert not handle.is_alive()
         pool.close()  # idempotent
         with pytest.raises(InferenceError, match="closed"):
             pool.step(sim.true_rates())
+
+    def test_dead_worker_connection_surfaces_as_inference_error(self, pool_setup):
+        """A connection that dies *before* the request (send-side failure)
+        must surface as InferenceError and close the pool, not leak a raw
+        OSError with live workers behind it."""
+        sim, trace = pool_setup
+        pool = PersistentChainPool(
+            self._recipes(trace, sim.true_rates(), n_chains=2), workers=2
+        )
+        for handle in pool._handles:
+            handle.terminate()
+            handle.join(timeout=5.0)
+            handle.close_endpoint()
+        with pytest.raises(InferenceError, match="failed"):
+            pool.step(sim.true_rates())
+        assert pool.closed
 
     def test_validation(self, pool_setup):
         sim, trace = pool_setup

@@ -357,9 +357,9 @@ class TestShardPoolLifecycle:
         with pytest.raises(InferenceError, match="shard sweep worker failed"):
             # Worker-side rate validation rejects the negative rate.
             pool.sweep(bad, 1, inbound)
-        assert pool._closed
-        for proc in pool._procs:
-            assert not proc.is_alive()
+        assert pool.closed
+        for handle in pool._handles:
+            assert not handle.is_alive()
         pool.close()  # idempotent
         with pytest.raises(InferenceError, match="closed"):
             pool.sweep(rates, 1, inbound)

@@ -101,6 +101,47 @@ class TestInfer:
         assert "bottleneck ranking" in text
 
 
+class TestStream:
+    def test_stream_pipeline_with_warm_shard_workers(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "150",
+            "--arrival-rate", "4", "--service-rate", "8",
+            "--servers", "1", "2", "--seed", "3", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "stream", str(out), "--observe", "0.3", "--windows", "3",
+            "--iterations", "8", "--seed", "0", "--shards", "2",
+            "--shard-workers", "2",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "streaming window estimates" in text
+        assert "anomal" in text  # either the table or "no anomalies flagged"
+
+    def test_stream_serial_and_cold_workers(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "100",
+            "--servers", "1", "2", "--seed", "5", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "stream", str(out), "--observe", "0.3", "--windows", "2",
+            "--iterations", "6", "--seed", "1",
+        ])
+        assert code == 0
+        assert "win" in capsys.readouterr().out
+        code = main([
+            "stream", str(out), "--observe", "0.3", "--windows", "2",
+            "--iterations", "6", "--seed", "1", "--shards", "2",
+            "--shard-workers", "1", "--cold",
+        ])
+        assert code == 0
+        assert "win" in capsys.readouterr().out
+
+
 class TestArgumentErrors:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -109,3 +150,24 @@ class TestArgumentErrors:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig9"])
+
+    def test_stream_rejects_bad_shards(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "30",
+            "--servers", "1", "2", "--out", str(out),
+        ])
+        with pytest.raises(SystemExit):
+            main(["stream", str(out), "--shards", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", str(out), "--shards", "2", "--shard-workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", str(out), "--window", "0"])
+        with pytest.raises(SystemExit):
+            main(["stream", str(out), "--step", "-1"])
+        with pytest.raises(SystemExit):
+            main(["stream", str(out), "--windows", "0"])
+        with pytest.raises(SystemExit):  # transport without workers: no-op combo
+            main(["stream", str(out), "--transport", "socket"])
+        with pytest.raises(SystemExit):  # cold without workers: no-op combo
+            main(["stream", str(out), "--cold"])

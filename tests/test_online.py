@@ -72,6 +72,8 @@ class TestWindowedEstimator:
             WindowedEstimator(tandem_trace, window=1.0, step=0.0)
         with pytest.raises(InferenceError):
             WindowedEstimator(tandem_trace, window=1.0, shards=0)
+        with pytest.raises(InferenceError):  # config error, not "all windows failed"
+            WindowedEstimator(tandem_trace, window=1.0, stem_iterations=0)
 
     def test_sharded_windows_estimate(self, tandem_trace):
         """Sharded per-window StEM runs end to end; tiny windows clamp the
@@ -86,6 +88,137 @@ class TestWindowedEstimator:
         for w in results:
             if w.ok:
                 assert np.all(np.isfinite(w.rates))
+
+
+def synthetic_single_queue_trace(entries, service=0.4):
+    """A fully observed single-queue trace with exact, known entry times."""
+    from repro.events import EventSet
+    from repro.observation import ObservedTrace
+
+    arrivals, departures, last_dep = [], [], 0.0
+    for e in entries:
+        begin = max(e, last_dep)
+        last_dep = begin + service
+        arrivals.append([e])
+        departures.append([last_dep])
+    events = EventSet.from_task_paths(
+        entries=entries, paths=[[1]] * len(entries),
+        arrivals=arrivals, departures=departures, n_queues=2,
+    )
+    return ObservedTrace.from_ground_truth(
+        events,
+        arrival_observed=np.ones(events.n_events, dtype=bool),
+        departure_observed=events.pi_inv == -1,
+    )
+
+
+class TestWindowedEdgeCases:
+    def test_task_entering_exactly_at_horizon_with_tumbling_windows(self):
+        """When the horizon is an exact multiple of the step, the window
+        predicate ``t0 <= t < t1`` leaves the horizon task in no window —
+        pinned so the streaming path can mirror it exactly."""
+        trace = synthetic_single_queue_trace([0.0, 1.0, 2.0, 3.0, 4.0])
+        estimator = WindowedEstimator(
+            trace, window=2.0, min_observed_tasks=10**6, random_state=0
+        )
+        results = estimator.run()
+        assert [(w.t_start, w.t_end) for w in results] == [(0.0, 2.0), (2.0, 4.0)]
+        assert [w.n_tasks for w in results] == [2, 2]  # entry 4.0 in neither
+
+    def test_task_at_horizon_included_when_windows_overhang(self):
+        trace = synthetic_single_queue_trace([0.0, 1.0, 2.0, 3.0, 4.0])
+        estimator = WindowedEstimator(
+            trace, window=3.0, step=2.0, min_observed_tasks=10**6,
+            random_state=0,
+        )
+        results = estimator.run()
+        assert [(w.t_start, w.t_end) for w in results] == [(0.0, 3.0), (2.0, 5.0)]
+        assert [w.n_tasks for w in results] == [3, 3]  # 4.0 lands in [2, 5)
+
+    def test_overlapping_windows_cover_every_task_multiply(self):
+        trace = synthetic_single_queue_trace([float(i) for i in range(8)])
+        estimator = WindowedEstimator(
+            trace, window=4.0, step=2.0, min_observed_tasks=10**6,
+            random_state=0,
+        )
+        results = estimator.run()
+        starts = [w.t_start for w in results]
+        assert starts == [0.0, 2.0, 4.0, 6.0]
+        # step < window: interior tasks are counted by two windows each.
+        assert [w.n_tasks for w in results] == [4, 4, 4, 2]
+        assert sum(w.n_tasks for w in results) > trace.skeleton.n_tasks
+
+    def test_all_windows_skipped_path(self):
+        trace = synthetic_single_queue_trace([0.0, 1.0, 2.0, 3.0])
+        results = WindowedEstimator(
+            trace, window=2.0, min_observed_tasks=10**6, random_state=0
+        ).run()
+        assert results and all(not w.ok for w in results)
+        assert all(w.rates is None and w.failure is None for w in results)
+        assert detect_anomalies(results) == []
+
+
+class TestWindowedFailureHandling:
+    """The `except Exception` bugfix: only InferenceError is window data."""
+
+    def _estimator(self, tandem_trace):
+        horizon = float(np.nanmax(tandem_trace.skeleton.departure))
+        return WindowedEstimator(
+            tandem_trace, window=horizon / 2, stem_iterations=5,
+            min_observed_tasks=1, random_state=3,
+        )
+
+    def test_inference_error_is_recorded_as_failed_window(
+        self, tandem_trace, monkeypatch
+    ):
+        import repro.online.windowed as windowed
+
+        def boom(*args, **kwargs):
+            raise InferenceError("window exploded")
+
+        monkeypatch.setattr(windowed, "run_stem", boom)
+        results = self._estimator(tandem_trace).run()
+        attempted = [w for w in results if w.failure is not None]
+        assert attempted, "no window attempted estimation"
+        for w in attempted:
+            assert not w.ok and w.failure == "window exploded"
+
+    def test_programming_errors_propagate(self, tandem_trace, monkeypatch):
+        import repro.online.windowed as windowed
+
+        def bug(*args, **kwargs):
+            raise TypeError("a genuine bug, not a failed window")
+
+        monkeypatch.setattr(windowed, "run_stem", bug)
+        with pytest.raises(TypeError, match="genuine bug"):
+            self._estimator(tandem_trace).run()
+
+    def test_streaming_failure_handling_matches(self, tandem_trace, monkeypatch):
+        import repro.online.streaming as streaming
+        from repro.online import ReplayTraceStream, StreamingEstimator
+
+        def boom(*args, **kwargs):
+            raise InferenceError("stream window exploded")
+
+        monkeypatch.setattr(streaming, "run_stem", boom)
+        horizon = float(np.nanmax(tandem_trace.skeleton.departure))
+        results = StreamingEstimator(
+            ReplayTraceStream(tandem_trace), window=horizon / 2,
+            stem_iterations=5, min_observed_tasks=1, random_state=3,
+        ).run()
+        attempted = [w for w in results if w.failure is not None]
+        assert attempted
+        assert all(w.failure == "stream window exploded" for w in attempted)
+
+        monkeypatch.setattr(
+            streaming, "run_stem",
+            lambda *a, **k: (_ for _ in ()).throw(ValueError("bug")),
+        )
+        with pytest.raises(ValueError, match="bug"):
+            StreamingEstimator(
+                ReplayTraceStream(tandem_trace), window=horizon / 2,
+                stem_iterations=5, min_observed_tasks=1, random_state=3,
+            ).run()
 
 
 class TestAnomalyDetection:

@@ -20,7 +20,7 @@ for calibrating a fail-under gate.
 Usage::
 
     PYTHONPATH=src python tools/measure_line_coverage.py \
-        src/repro/inference src/repro/events -- -q -m "not slow"
+        src/repro/inference src/repro/events src/repro/online -- -q -m "not slow"
 
 Everything after ``--`` is passed to pytest verbatim (default: ``-q``).
 """
@@ -70,7 +70,7 @@ def main(argv: list[str]) -> int:
     else:
         roots, pytest_args = argv, ["-q"]
     if not roots:
-        roots = ["src/repro/inference", "src/repro/events"]
+        roots = ["src/repro/inference", "src/repro/events", "src/repro/online"]
     wanted = target_files(roots)
     if not wanted:
         print(f"no python files under {roots}", file=sys.stderr)

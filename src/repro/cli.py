@@ -11,6 +11,14 @@ stream
     Replay a trace as an online stream: sliding-window StEM with warm
     cross-window shard workers, printing the per-window rate series and
     any anomalies it reveals.
+serve
+    Run the live estimation service: a TCP ingestion + query server
+    feeding a LiveTraceStream into the streaming estimator, publishing
+    window estimates and anomaly flags, with optional checkpointing.
+ingest
+    Replay a recorded trace into a running `repro serve` instance at a
+    configurable speedup — the two-terminal live demo, and the reference
+    for what a real reporting agent would ship.
 experiment
     Run a reduced-scale version of one of the paper's experiments
     (fig4 / fig5 / variance) and print the result tables.
@@ -154,6 +162,119 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--anomaly-threshold", type=float, default=4.0,
         help="robust z-score above which a window's rate shift is flagged",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live estimation service (ingestion server + estimator)",
+        description=(
+            "Start an always-on estimation service: a TCP server accepts "
+            "measurement records, a LiveTraceStream assembles them, and the "
+            "streaming estimator publishes per-window rate estimates with "
+            "anomaly flags, queryable over the same connection. "
+            "Example: `repro serve --queues 3 --window 15 --port 7577 "
+            "--authkey secret` then, in another terminal, `repro ingest "
+            "trace.jsonl --connect 127.0.0.1:7577 --authkey secret --wait`."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free one, printed on start)")
+    serve.add_argument(
+        "--authkey", default=None,
+        help="shared handshake secret clients must present "
+        "(default: a development-only key; set your own for anything "
+        "reachable from an untrusted network)",
+    )
+    serve.add_argument(
+        "--queues", type=int, default=None,
+        help="queue count of the monitored network, including entry queue 0 "
+        "(required unless --restore)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=None,
+        help="estimation window length in trace clock units "
+        "(required unless --restore)",
+    )
+    # Estimator/stream flags use None sentinels so the --restore branch
+    # can tell "explicitly passed" from "defaulted" — a checkpoint freezes
+    # these, and silently ignoring an explicit value would mislead the
+    # operator.  Real defaults are applied in _cmd_serve.
+    serve.add_argument("--step", type=float, default=None,
+                       help="window start spacing (default: the window length)")
+    serve.add_argument("--iterations", type=int, default=None,
+                       help="StEM iterations per window (default: 30)")
+    serve.add_argument(
+        "--min-observed", type=int, default=None,
+        help="windows with fewer fully observed tasks are skipped (default: 3)",
+    )
+    serve.add_argument("--seed", type=int, default=None,
+                       help="estimation seed (default: 0)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="sharded sweeps per window (default: 1)")
+    serve.add_argument("--shard-workers", type=int, default=None,
+                       help="worker processes hosting the shard sweeps")
+    serve.add_argument(
+        "--lateness", type=float, default=None,
+        help="grace interval behind the watermark within which measurements "
+        "are still admitted; older ones are dropped as stragglers "
+        "(default: 0)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="buffered-record bound before ingestion backpressure "
+        "(default: 100000)",
+    )
+    serve.add_argument("--checkpoint", default=None,
+                       help="snapshot service state to this path")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       help="published windows between snapshots (default: 1)")
+    serve.add_argument(
+        "--restore", default=None,
+        help="resume from a checkpoint written by a previous serve run "
+        "(ingestion clients replay the tail; duplicates are ignored)",
+    )
+    serve.add_argument("--anomaly-threshold", type=float, default=None,
+                       help="robust z-score flagging threshold (default: 4)")
+
+    ing = sub.add_parser(
+        "ingest",
+        help="replay a recorded trace into a running `repro serve` instance",
+        description=(
+            "Censor a recorded ground-truth trace to an observed fraction "
+            "and ship it to a live server as measurement records, in entry "
+            "order with the watermark advanced alongside — at a wall-clock "
+            "speedup, or as fast as the server admits. Example: `repro "
+            "ingest trace.jsonl --connect 127.0.0.1:7577 --authkey secret "
+            "--speedup 20 --wait`."
+        ),
+    )
+    ing.add_argument("trace", help="JSONL trace written by `simulate`")
+    ing.add_argument("--connect", default="127.0.0.1:7577",
+                     help="host:port of the running server")
+    ing.add_argument("--authkey", default=None,
+                     help="shared handshake secret (must match the server's)")
+    ing.add_argument("--observe", type=float, default=0.2,
+                     help="observed task fraction")
+    ing.add_argument("--seed", type=int, default=0,
+                     help="observation-sampling seed")
+    ing.add_argument(
+        "--speedup", type=float, default=0.0,
+        help="replay trace clock this many times faster than real time "
+        "(0 = no pacing, ship as fast as the server admits)",
+    )
+    ing.add_argument("--batch", type=int, default=32,
+                     help="tasks per ingestion batch")
+    ing.add_argument("--no-seal", action="store_true",
+                     help="leave the stream open after the replay ends")
+    ing.add_argument(
+        "--wait", action="store_true",
+        help="after sealing, block until the service finishes and print "
+        "the published window estimates",
+    )
+    ing.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the serving process to exit once this client is done",
     )
 
     exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
@@ -331,6 +452,211 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _authkey(value: str | None) -> bytes:
+    from repro.live import DEFAULT_AUTHKEY
+
+    return DEFAULT_AUTHKEY if value is None else value.encode("utf-8")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import IngestError
+    from repro.live import EstimatorService, LiveServer, LiveTraceStream
+    from repro.online import StreamingEstimator
+
+    if args.restore is not None:
+        # Resuming replays the checkpoint's exact configuration; accepting
+        # these flags and then ignoring them would let an operator believe
+        # the resumed service runs with e.g. different sharding.  The
+        # parser uses None sentinels, so "explicitly passed" is detected
+        # even when the passed value equals the documented default.
+        frozen = (
+            "queues", "window", "step", "iterations", "min_observed",
+            "seed", "shards", "shard_workers", "lateness", "max_pending",
+        )
+        rejected = [
+            "--" + name.replace("_", "-")
+            for name in frozen
+            if getattr(args, name) is not None
+        ]
+        if rejected:
+            raise SystemExit(
+                "--restore resumes the checkpoint's configuration; drop "
+                + "/".join(rejected)
+            )
+        # Service-level options stay overridable on resume — but only when
+        # the operator actually passed them; defaults must not clobber the
+        # checkpointed values.
+        overrides = {}
+        if args.anomaly_threshold is not None:
+            overrides["anomaly_threshold"] = args.anomaly_threshold
+        if args.checkpoint_every is not None:
+            overrides["checkpoint_every"] = args.checkpoint_every
+        try:
+            service = EstimatorService.from_checkpoint(
+                args.restore,
+                checkpoint_path=args.checkpoint,
+                **overrides,
+            )
+        except (OSError, IngestError) as exc:
+            raise SystemExit(f"cannot restore from {args.restore}: {exc}")
+        print(f"restored from {args.restore}: "
+              f"{len(service.windows())} windows already published")
+    else:
+        if args.queues is None or args.window is None:
+            raise SystemExit("--queues and --window are required (or --restore)")
+        if args.window <= 0.0:
+            raise SystemExit("--window must be positive")
+        # Fill the documented defaults behind the None sentinels the
+        # parser uses for --restore detection.
+        shards = 1 if args.shards is None else args.shards
+        if shards < 1:
+            raise SystemExit("--shards must be at least 1")
+        if args.shard_workers is not None and shards == 1:
+            raise SystemExit("--shard-workers requires --shards > 1")
+        stream = LiveTraceStream(
+            n_queues=args.queues,
+            lateness=0.0 if args.lateness is None else args.lateness,
+            max_pending=(
+                100_000 if args.max_pending is None else args.max_pending
+            ),
+        )
+        estimator = StreamingEstimator(
+            stream,
+            window=args.window,
+            step=args.step,
+            stem_iterations=30 if args.iterations is None else args.iterations,
+            min_observed_tasks=(
+                3 if args.min_observed is None else args.min_observed
+            ),
+            random_state=0 if args.seed is None else args.seed,
+            shards=shards,
+            shard_workers=args.shard_workers,
+        )
+        service = EstimatorService(
+            estimator,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=(
+                1 if args.checkpoint_every is None else args.checkpoint_every
+            ),
+            anomaly_threshold=(
+                4.0 if args.anomaly_threshold is None else args.anomaly_threshold
+            ),
+        )
+    server = LiveServer(
+        service, host=args.host, port=args.port, authkey=_authkey(args.authkey)
+    )
+    service.start()
+    server.start()
+    host, port = server.address
+    print(f"repro live service listening on {host}:{port}")
+    print("ingest with: repro ingest TRACE.jsonl "
+          f"--connect {host}:{port}" +
+          (" --authkey <key>" if args.authkey else ""))
+    try:
+        server.wait_for_shutdown()
+        print("shutdown requested; draining")
+    except KeyboardInterrupt:
+        print("\ninterrupted; draining")
+    finally:
+        server.close()
+        service.stop()
+    health = service.health()
+    print(f"served {health['windows_published']} windows "
+          f"({health['anomalies']} anomaly flags); status: {health['status']}")
+    if health["status"] == "failed":
+        print(f"estimator error: {health['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import IngestError
+    from repro.live import LiveClient, replay_batches
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect must be host:port, got {args.connect!r}")
+    if args.speedup < 0.0:
+        raise SystemExit("--speedup must be >= 0")
+    if args.batch < 1:
+        raise SystemExit("--batch must be at least 1")
+    from repro.errors import InferenceError
+
+    events = load_jsonl(args.trace)
+    trace = TaskSampling(fraction=args.observe).observe(events, random_state=args.seed)
+    print(trace.summary())
+    try:
+        batches = replay_batches(trace, batch_tasks=args.batch)
+    except InferenceError as exc:
+        raise SystemExit(f"cannot schedule the replay: {exc}")
+    try:
+        client = LiveClient((host, int(port)), authkey=_authkey(args.authkey))
+    except (IngestError, OSError) as exc:
+        raise SystemExit(f"cannot connect to {args.connect}: {exc}")
+    n_shipped = 0
+    t_wall0 = time.perf_counter()
+    t_clock0 = batches[0][0]
+    with client:
+        for watermark, batch in batches:
+            if args.speedup > 0.0:
+                due = t_wall0 + (watermark - t_clock0) / args.speedup
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            client.advance_watermark(watermark)
+            while True:
+                try:
+                    summary = client.ingest(batch)
+                    break
+                except IngestError as exc:
+                    if "backpressure" not in str(exc):
+                        raise SystemExit(f"ingestion refused: {exc}")
+                    time.sleep(0.05)  # bounded buffer is draining; retry
+            n_shipped += summary["admitted"]
+        elapsed = time.perf_counter() - t_wall0
+        print(f"shipped {n_shipped} records in {elapsed:.2f}s "
+              f"({n_shipped / max(elapsed, 1e-9):.0f} records/s)")
+        if not args.no_seal:
+            client.seal()
+        if args.wait:
+            if args.no_seal:
+                raise SystemExit("--wait needs the stream sealed; drop --no-seal")
+            while True:
+                health = client.health()
+                if health["status"] in ("finished", "failed", "stopped"):
+                    break
+                time.sleep(0.2)
+            if health["status"] != "finished":
+                print(f"service did not finish: {health['status']} "
+                      f"({health.get('error')})")
+                return 1
+            rows = []
+            for est in client.estimates():
+                services = (
+                    " ".join(
+                        f"{1.0 / r:.4g}" for r in est["rates"][1:]
+                    )
+                    if est["rates"] is not None
+                    else (est["failure"] or "skipped")
+                )
+                flags = (
+                    ",".join(str(q) for q in est["anomalous_queues"]) or "-"
+                )
+                rows.append((
+                    est["index"], f"{est['t_start']:.1f}", f"{est['t_end']:.1f}",
+                    est["n_tasks"], est["n_observed_tasks"], flags, services,
+                ))
+            print(render_table(
+                ["win", "t0", "t1", "tasks", "obs", "anom", "mean service (q1..)"],
+                rows, title="\npublished window estimates",
+            ))
+        if args.shutdown:
+            client.shutdown()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "fig4":
         result = run_fig4(quick_fig4_config(), random_state=args.seed)
@@ -378,6 +704,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_infer(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     return _cmd_experiment(args)
 
 

@@ -48,6 +48,16 @@ class ObservationError(ReproError):
     """An observation scheme is inconsistent with the event set it observes."""
 
 
+class IngestError(ReproError):
+    """Live measurement ingestion was refused or cannot proceed.
+
+    Raised by :mod:`repro.live` for malformed measurement records,
+    conflicting counters, ingestion into a sealed stream, and bounded-queue
+    backpressure (the buffer of not-yet-assembled records is full; back off
+    and retry).
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an invalid internal state."""
 

@@ -26,7 +26,9 @@ from repro.events.serialization import (
     event_set_from_records,
     event_set_to_records,
     load_jsonl,
+    measurement_record,
     save_jsonl,
+    validate_measurement_record,
 )
 
 __all__ = [
@@ -39,4 +41,6 @@ __all__ = [
     "event_set_from_records",
     "save_jsonl",
     "load_jsonl",
+    "measurement_record",
+    "validate_measurement_record",
 ]

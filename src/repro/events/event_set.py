@@ -293,6 +293,21 @@ class EventSet:
         """Event indices at queue *q* in the frozen arrival order."""
         return self._queue_order[q]
 
+    def queue_positions(self) -> np.ndarray:
+        """Position of every event inside its queue's frozen arrival order.
+
+        This is the event-*counter* value the paper assumes instrumented
+        queues expose: ``queue_positions()[e]`` is how many events arrived
+        at ``queue[e]`` before *e* did.  Live ingestion
+        (:mod:`repro.live`) ships these counters with every measurement
+        record so a receiver can rebuild the frozen order without seeing
+        any censored time.
+        """
+        pos = np.empty(self.n_events, dtype=np.int64)
+        for members in self._queue_order:
+            pos[members] = np.arange(members.size)
+        return pos
+
     def is_initial(self, e: int) -> bool:
         """Whether event *e* is a task's initial (system-entry) event."""
         return bool(self.seq[e] == 0)

@@ -18,6 +18,91 @@ from repro.events.event_set import EventSet
 #: Fields serialized per event, in column order.
 RECORD_FIELDS = ("task", "seq", "queue", "state", "arrival", "departure")
 
+#: Fields of one *incremental* measurement record (see
+#: :func:`measurement_record`), the unit of live ingestion.
+MEASUREMENT_FIELDS = (
+    "task", "seq", "queue", "state", "counter", "arrival", "departure", "last"
+)
+
+
+def measurement_record(
+    task: int,
+    seq: int,
+    queue: int,
+    counter: int,
+    state: int = -1,
+    arrival: float | None = None,
+    departure: float | None = None,
+    last: bool = False,
+) -> dict:
+    """One event's measurement as a flat, JSON-serializable record.
+
+    This is the unit an instrumented system ships to a live ingestion
+    endpoint (:mod:`repro.live`): the event's identity (``task``/``seq``),
+    its queue, and — crucially — the queue's event-**counter** value at
+    its arrival, which pins the event's position in the frozen per-queue
+    order without revealing any time.  Measured times are optional:
+    ``arrival`` is ``None`` for an unmeasured (censored) arrival, and
+    ``departure`` is only meaningful on a task's ``last`` event (inner
+    departures are identical to the successor's arrival and are
+    reconstructed, never shipped).
+    """
+    if seq < 0:
+        raise InvalidEventSetError(f"seq must be >= 0, got {seq}")
+    if queue < 0:
+        raise InvalidEventSetError(f"queue must be >= 0, got {queue}")
+    if counter < 0:
+        raise InvalidEventSetError(f"counter must be >= 0, got {counter}")
+    if (seq == 0) != (queue == 0):
+        raise InvalidEventSetError(
+            f"queue 0 and seq 0 identify the initial event together; "
+            f"got seq={seq}, queue={queue}"
+        )
+    if departure is not None and not last:
+        raise InvalidEventSetError(
+            "only a task's last event carries an independent departure; "
+            "inner departures equal the successor's arrival"
+        )
+    return {
+        "task": int(task),
+        "seq": int(seq),
+        "queue": int(queue),
+        "state": int(state),
+        "counter": int(counter),
+        "arrival": None if arrival is None else float(arrival),
+        "departure": None if departure is None else float(departure),
+        "last": bool(last),
+    }
+
+
+def validate_measurement_record(record: dict) -> dict:
+    """Check an inbound record's shape; returns a normalized copy.
+
+    Raises :class:`~repro.errors.InvalidEventSetError` with the missing or
+    malformed field named, so a misbehaving reporter is diagnosable from
+    the ingestion error alone.
+    """
+    if not isinstance(record, dict):
+        raise InvalidEventSetError(
+            f"measurement records are dicts, got {type(record).__name__}"
+        )
+    missing = [f for f in ("task", "seq", "queue", "counter") if f not in record]
+    if missing:
+        raise InvalidEventSetError(f"measurement record missing fields: {missing}")
+    try:
+        return measurement_record(
+            task=record["task"],
+            seq=record["seq"],
+            queue=record["queue"],
+            counter=record["counter"],
+            state=record.get("state", -1),
+            arrival=record.get("arrival"),
+            departure=record.get("departure"),
+            last=record.get("last", False),
+        )
+    except (TypeError, ValueError) as exc:
+        raise InvalidEventSetError(f"malformed measurement record: {exc}") from None
+
 
 def event_set_to_records(events: EventSet) -> list[dict]:
     """Flatten an event set into one dict per event (sorted by task, seq)."""

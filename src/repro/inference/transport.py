@@ -277,7 +277,10 @@ def serve_worker(
     except (EOFError, OSError) as exc:
         sock.close()
         raise InferenceError(
-            f"master at {address} vanished during the handshake ({exc})"
+            f"master at {address} closed the connection during the handshake "
+            f"({exc}) — wrong authkey on one side (a master drops connectors "
+            "that fail its challenge), a truncated hello, or a master that "
+            "died mid-setup"
         ) from None
     if not authenticated:
         sock.close()
@@ -348,6 +351,10 @@ class SocketTransport(WorkerTransport):
         self.authkey: bytes = authkey if authkey is not None else os.urandom(32)
         #: The ``(host, port)`` workers dial; pass to :func:`serve_worker`.
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        #: Connections dropped for failing the handshake, across every
+        #: :meth:`launch` — a nonzero value with a "no worker connected"
+        #: error means a key mismatch, not a dead worker host.
+        self.n_rejected: int = 0
 
     def launch(self, worker_main, payload) -> WorkerHandle:
         proc = None
@@ -363,6 +370,7 @@ class SocketTransport(WorkerTransport):
         # dropped without restarting the clock, so a peer hammering the
         # port cannot keep launch() blocked past accept_timeout.
         deadline = time.monotonic() + self.accept_timeout
+        n_rejected = 0
         while True:
             remaining = deadline - time.monotonic()
             try:
@@ -373,9 +381,19 @@ class SocketTransport(WorkerTransport):
             except (socket.timeout, OSError) as exc:
                 if proc is not None:
                     proc.terminate()
+                # Say what actually happened: "nobody dialed in" and
+                # "someone dialed in but failed the handshake" need very
+                # different fixes (dead worker host vs. skewed authkey).
+                detail = (
+                    f"; {n_rejected} connection(s) arrived but failed the "
+                    "HMAC handshake — wrong authkey on one side, or a "
+                    "peer that closed mid-hello"
+                    if n_rejected
+                    else ""
+                )
                 raise InferenceError(
                     f"no worker connected to {self.address} within the accept "
-                    f"timeout ({exc})"
+                    f"timeout ({exc}){detail}"
                 ) from None
             # Authenticate before any pickle crosses; an impostor's
             # connection is dropped and we keep waiting for the real
@@ -388,6 +406,8 @@ class SocketTransport(WorkerTransport):
             if authenticated:
                 conn.settimeout(None)
                 break
+            n_rejected += 1
+            self.n_rejected += 1
             try:
                 conn.close()
             except OSError:

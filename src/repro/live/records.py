@@ -1,0 +1,209 @@
+"""Measurement records: the wire unit between a monitored system and
+:class:`~repro.live.stream.LiveTraceStream`.
+
+A record (:func:`~repro.events.serialization.measurement_record`) is one
+event's measurement: identity (``task``/``seq``), queue, the queue's
+event-**counter** value at its arrival — the paper's assumption about
+what instrumented queues expose, and exactly the information that pins
+the frozen per-queue order without revealing censored times — plus the
+measured times where they exist (``arrival`` ``None`` when censored;
+``departure`` only on a task's last event).
+
+This module converts between records and :class:`~repro.observation.ObservedTrace`:
+
+* :func:`trace_to_records` flattens a censored trace into records — what a
+  replay client (``repro ingest``) ships, and the reference for what a real
+  reporting agent would emit;
+* :func:`assemble_trace` is the inverse: build an observed trace from the
+  records of a set of *complete* tasks, reconstructing inner departures from
+  the ``a_e = d_{pi(e)}`` identity and every queue's frozen order from the
+  counters.
+
+Round-trip contract (pinned by ``tests/live/test_records.py``): for any
+task subset of a task-id-major trace, ``assemble_trace(records)`` is
+**bitwise identical** to ``subset_trace`` of the original — which is what
+makes live window estimates bitwise comparable to the replay path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IngestError
+from repro.events import EventSet
+from repro.events.serialization import measurement_record
+from repro.observation import ObservedTrace
+
+
+def trace_to_records(trace: ObservedTrace) -> list[dict]:
+    """Flatten a censored trace into measurement records (task-major order).
+
+    Censored positions become ``arrival=None``; inner departures are never
+    shipped (they equal the successor's arrival); a task's last record is
+    flagged ``last`` and carries its departure only when independently
+    measured.
+    """
+    skeleton = trace.skeleton
+    counters = skeleton.queue_positions()
+    records: list[dict] = []
+    for task_id in skeleton.task_ids:
+        events = skeleton.events_of_task(task_id)
+        for e in events:
+            e = int(e)
+            last = skeleton.pi_inv[e] == -1
+            if skeleton.seq[e] == 0:
+                arrival: float | None = 0.0
+            elif trace.arrival_observed[e]:
+                arrival = float(skeleton.arrival[e])
+            else:
+                arrival = None
+            departure = (
+                float(skeleton.departure[e])
+                if last and trace.departure_observed[e]
+                else None
+            )
+            records.append(
+                measurement_record(
+                    task=task_id,
+                    seq=int(skeleton.seq[e]),
+                    queue=int(skeleton.queue[e]),
+                    counter=int(counters[e]),
+                    state=int(skeleton.state[e]),
+                    arrival=arrival,
+                    departure=departure,
+                    last=bool(last),
+                )
+            )
+    return records
+
+
+def replay_batches(
+    trace: ObservedTrace, batch_tasks: int = 32
+) -> list[tuple[float, list[dict]]]:
+    """Chop a recorded censored trace into in-order ingestion batches.
+
+    Tasks are grouped in (estimated) entry order, ``batch_tasks`` per
+    batch; each batch is paired with the watermark an honest reporter
+    would advance to before shipping it — the entry estimate of the
+    batch's first task, which every measurement in this and later batches
+    is no older than.  Replaying the batches in order therefore produces
+    zero stragglers: the ``repro ingest`` client, the live-serving
+    example, and the benchmark all ship exactly this schedule.
+    """
+    from repro.online.windowed import _entry_time_estimates
+
+    entries = _entry_time_estimates(trace)
+    by_task: dict[int, list[dict]] = {}
+    for record in trace_to_records(trace):
+        by_task.setdefault(record["task"], []).append(record)
+    order = sorted(entries, key=lambda t: entries[t])
+    batches = []
+    for start in range(0, len(order), int(batch_tasks)):
+        chunk = order[start:start + int(batch_tasks)]
+        batch: list[dict] = []
+        for task in chunk:
+            batch.extend(by_task[task])
+        batches.append((float(entries[chunk[0]]), batch))
+    return batches
+
+
+def record_times(record: dict) -> list[float]:
+    """Every measured clock time a record carries (may be empty)."""
+    out = []
+    if record["arrival"] is not None and record["seq"] != 0:
+        out.append(float(record["arrival"]))
+    if record["departure"] is not None:
+        out.append(float(record["departure"]))
+    return out
+
+
+def assemble_trace(
+    task_records: list[list[dict]], n_queues: int | None = None
+) -> ObservedTrace:
+    """Build an observed trace from the records of complete tasks.
+
+    Parameters
+    ----------
+    task_records:
+        One list of records per task, each covering the task's events
+        ``seq 0 .. k`` exactly (the stream's completeness gate guarantees
+        this).  Tasks are assembled in ascending task-id order and queue
+        orders are rebuilt from the counters, so the result is bitwise the
+        :func:`~repro.events.subset.subset_trace` restriction of the
+        originating task-id-major trace.
+    n_queues:
+        Queue count of the monitored network (so a trace prefix that has
+        not yet visited the last queue still matches the full topology);
+        defaults to the highest queue index seen plus one.
+    """
+    if not task_records:
+        raise IngestError("no complete tasks to assemble a trace from")
+    ordered = sorted(task_records, key=lambda recs: recs[0]["task"])
+    task_col: list[int] = []
+    seq_col: list[int] = []
+    queue_col: list[int] = []
+    state_col: list[int] = []
+    counter_col: list[int] = []
+    arrival_col: list[float] = []
+    departure_col: list[float] = []
+    arr_obs: list[bool] = []
+    dep_obs: list[bool] = []
+    for recs in ordered:
+        recs = sorted(recs, key=lambda r: r["seq"])
+        for i, r in enumerate(recs):
+            task_col.append(r["task"])
+            seq_col.append(r["seq"])
+            queue_col.append(r["queue"])
+            state_col.append(r["state"])
+            counter_col.append(r["counter"])
+            arrival_col.append(
+                0.0 if r["seq"] == 0
+                else (np.nan if r["arrival"] is None else r["arrival"])
+            )
+            arr_obs.append(r["seq"] == 0 or r["arrival"] is not None)
+            if i + 1 < len(recs):
+                # Inner departure: the a_e = d_{pi(e)} identity.
+                nxt = recs[i + 1]
+                departure_col.append(
+                    np.nan if nxt["arrival"] is None else nxt["arrival"]
+                )
+                dep_obs.append(False)
+            else:
+                departure_col.append(
+                    np.nan if r["departure"] is None else r["departure"]
+                )
+                dep_obs.append(r["departure"] is not None)
+    if n_queues is None:
+        n_queues = max(queue_col) + 1
+    elif n_queues <= max(queue_col):
+        raise IngestError(
+            f"records reference queue {max(queue_col)} but the stream was "
+            f"declared with n_queues={n_queues}"
+        )
+    counters = np.asarray(counter_col, dtype=np.int64)
+    queues = np.asarray(queue_col, dtype=np.int64)
+    queue_order = []
+    for q in range(n_queues):
+        members = np.flatnonzero(queues == q)
+        order = members[np.argsort(counters[members], kind="stable")]
+        if np.unique(counters[order]).size != order.size:
+            raise IngestError(
+                f"conflicting event counters at queue {q}: two events claim "
+                "the same arrival position"
+            )
+        queue_order.append(order.astype(np.int64))
+    skeleton = EventSet(
+        task=np.asarray(task_col, dtype=np.int64),
+        seq=np.asarray(seq_col, dtype=np.int64),
+        queue=queues,
+        arrival=np.asarray(arrival_col, dtype=float),
+        departure=np.asarray(departure_col, dtype=float),
+        n_queues=n_queues,
+        state=np.asarray(state_col, dtype=np.int64),
+        queue_order=queue_order,
+    )
+    return ObservedTrace(
+        skeleton=skeleton,
+        arrival_observed=np.asarray(arr_obs, dtype=bool),
+        departure_observed=np.asarray(dep_obs, dtype=bool),
+    )

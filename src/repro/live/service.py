@@ -1,0 +1,424 @@
+"""The always-on estimation supervisor: stream in, window estimates out.
+
+:class:`EstimatorService` closes the loop the paper's online story needs:
+a supervisor thread watches a :class:`~repro.live.stream.LiveTraceStream`
+and, every time the stream's horizon has advanced far enough that a
+window's task population can no longer change, drives one
+:meth:`~repro.online.streaming.StreamingEstimator.process_window` and
+*publishes* the result — the per-window rate estimate plus the anomaly
+flags a monitoring consumer actually wants — to a thread-safe store the
+ingestion server exposes over its query commands.
+
+Window scheduling mirrors the replay path exactly: window *i* starts at
+``i * step`` and is processed once the stream's horizon reaches the
+window's end (or the stream is sealed), in strict order.  Because the
+streaming estimator spawns one seed child per window in that same order,
+a window processed live is **bitwise** the window the replay path would
+have produced — the acceptance contract of ``tests/live/test_service.py``.
+
+Checkpoint/restore: after every ``checkpoint_every`` published windows
+the service snapshots (atomically, via rename) the stream's record log,
+the estimator's seed/bookkeeping state, and the published estimates.
+:meth:`EstimatorService.from_checkpoint` rebuilds all three; the restored
+service re-reveals from the record log, keeps every pre-crash estimate,
+and processes the remaining windows bitwise as the uninterrupted run
+would have — an ingestion client only needs to replay the tail recorded
+after the snapshot (duplicates are ignored by the stream).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import traceback
+from dataclasses import replace
+
+from repro.errors import IngestError
+from repro.live.stream import LiveTraceStream
+from repro.online.anomaly import detect_anomalies
+from repro.online.streaming import StreamEstimate, StreamingEstimator
+from repro.online.windowed import WindowEstimate
+
+#: Service lifecycle states reported by :meth:`EstimatorService.health`.
+SERVICE_STATES = ("idle", "serving", "finished", "stopped", "failed")
+
+#: Published windows the anomaly detector looks back over when judging a
+#: freshly published window.  Bounds per-publish work for an always-on
+#: service (the detector's history is otherwise expanding); below this
+#: many windows the flags are identical to whole-history detection.
+ANOMALY_TAIL_WINDOWS = 64
+
+
+def estimate_to_record(estimate: WindowEstimate, index: int) -> dict:
+    """Flatten a window estimate into a plain, wire-friendly dict."""
+    return {
+        "index": int(index),
+        "t_start": float(estimate.t_start),
+        "t_end": float(estimate.t_end),
+        "n_tasks": int(estimate.n_tasks),
+        "n_observed_tasks": int(estimate.n_observed_tasks),
+        "rates": None if estimate.rates is None else [
+            float(r) for r in estimate.rates
+        ],
+        "failure": estimate.failure,
+        "n_shards": int(getattr(estimate, "n_shards", 1)),
+        "n_warm_shards": int(getattr(estimate, "n_warm_shards", 0)),
+        "n_migrated_shards": int(getattr(estimate, "n_migrated_shards", 0)),
+    }
+
+
+class EstimatorService:
+    """Supervise a :class:`~repro.online.streaming.StreamingEstimator`
+    over a live stream and publish its window estimates.
+
+    Parameters
+    ----------
+    estimator:
+        The streaming estimator to drive; its ``stream`` is normally a
+        :class:`~repro.live.stream.LiveTraceStream` (anything satisfying
+        the :class:`~repro.online.streaming.TraceStream` contract works —
+        a replay source just finishes immediately after a seal-equivalent
+        full reveal).
+    checkpoint_path:
+        Where to snapshot service state (``None`` disables checkpointing).
+    checkpoint_every:
+        Published windows between snapshots.
+    poll_interval:
+        Fallback wait (seconds) between scheduling checks when the stream
+        offers no progress notification.
+    anomaly_threshold:
+        Robust z-score above which a published window is flagged (see
+        :func:`~repro.online.anomaly.detect_anomalies`).
+    """
+
+    def __init__(
+        self,
+        estimator: StreamingEstimator,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        poll_interval: float = 0.25,
+        anomaly_threshold: float = 4.0,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise IngestError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.estimator = estimator
+        self.stream = estimator.stream
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = int(checkpoint_every)
+        self.poll_interval = float(poll_interval)
+        self.anomaly_threshold = float(anomaly_threshold)
+        self._lock = threading.RLock()
+        self._published: list[StreamEstimate] = []
+        #: Wall-clock publish time per window (what latency benchmarks read).
+        self.published_at: list[float] = []
+        self._anomalies = []
+        self._windows_since_checkpoint = 0
+        # Serializes window processing against snapshotting: a snapshot
+        # taken mid-window could capture a spawned-but-uncounted seed
+        # child, silently breaking the bitwise-restore guarantee; holding
+        # this lock for the whole snapshot+write also keeps two
+        # checkpoint writers off the same temp file.
+        self._window_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._status = "idle"
+        self._error: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "EstimatorService":
+        """Launch the supervisor thread (idempotent while running)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._status = "serving"
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-estimator-service", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Stop the supervisor, final-checkpoint, and release the pool."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        with self._lock:
+            if self._status == "serving":
+                self._status = "stopped"
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the supervisor to finish draining a sealed stream."""
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def __enter__(self) -> "EstimatorService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # The supervisor loop.
+    # ------------------------------------------------------------------
+
+    def _next_ready_start(self) -> float | None:
+        """Start of the next window whose population is final, else None.
+
+        The grid is the replay grid (window *i* at ``i * step`` while
+        ``i * step < horizon``); an unsealed stream additionally holds a
+        window back until the horizon clears its *end*, because tasks
+        with entries inside a still-open window could yet be revealed.
+        """
+        est = self.estimator
+        horizon = self.stream.horizon
+        if horizon <= 0.0:
+            return None
+        t0 = est.n_windows_done * est.step
+        if t0 >= horizon:
+            return None
+        sealed = getattr(self.stream, "sealed", True)
+        if not sealed and horizon < t0 + est.window:
+            return None
+        return t0
+
+    def _loop(self) -> None:
+        try:
+            while not self._stop.is_set():
+                # Read `sealed` BEFORE scanning the grid: seal is monotone,
+                # so a seal landing after this read only makes more windows
+                # ready — caught next iteration.  Reading it after the scan
+                # would race: a seal between the two could grow the grid
+                # and still let this iteration declare "finished" with
+                # windows left unprocessed.  (Streams without a seal
+                # notion — a replay source — are treated as always-sealed,
+                # same as in _next_ready_start.)
+                sealed = getattr(self.stream, "sealed", True)
+                t0 = self._next_ready_start()
+                if t0 is not None:
+                    with self._window_lock:
+                        estimate = self.estimator.process_window(t0)
+                    self._publish(estimate)
+                    continue
+                if sealed:
+                    with self._lock:
+                        self._status = "finished"
+                    break
+                self._wait_for_progress()
+        except Exception as exc:  # noqa: BLE001 — surfaced via health()
+            with self._lock:
+                self._status = "failed"
+                self._error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+        finally:
+            try:
+                self._checkpoint_now()
+            finally:
+                self.estimator.close()
+
+    def _wait_for_progress(self) -> None:
+        waiter = getattr(self.stream, "wait_for_progress", None)
+        if waiter is not None:
+            waiter(self.poll_interval)
+        else:
+            time.sleep(self.poll_interval)
+
+    def _publish(self, estimate: StreamEstimate) -> None:
+        with self._lock:
+            self._published.append(estimate)
+            self.published_at.append(time.time())
+            # Judge only the fresh window, against a bounded rolling tail:
+            # older windows were judged when they were the fresh one (the
+            # detector's per-window verdict depends only on its preceding
+            # history, so accumulated flags never change retroactively).
+            offset = max(0, len(self._published) - ANOMALY_TAIL_WINDOWS)
+            newest = len(self._published) - 1 - offset
+            for report in detect_anomalies(
+                self._published[offset:], threshold=self.anomaly_threshold
+            ):
+                if report.window_index == newest:
+                    self._anomalies.append(
+                        replace(report, window_index=report.window_index + offset)
+                    )
+            self._windows_since_checkpoint += 1
+            due = self._windows_since_checkpoint >= self.checkpoint_every
+        if due:
+            self._checkpoint_now()
+
+    # ------------------------------------------------------------------
+    # Query API (thread-safe; what the ingestion server exposes).
+    # ------------------------------------------------------------------
+
+    def estimates(self, since: int = 0) -> list[dict]:
+        """Published window estimates from index *since* on, as records
+        with their anomaly flags attached."""
+        with self._lock:
+            flagged = {(r.window_index, r.queue) for r in self._anomalies}
+            out = []
+            for i, w in enumerate(self._published[int(since):], start=int(since)):
+                record = estimate_to_record(w, i)
+                record["anomalous_queues"] = sorted(
+                    q for (idx, q) in flagged if idx == i
+                )
+                out.append(record)
+            return out
+
+    def anomalies(self) -> list[dict]:
+        """Currently flagged (window, queue) anomaly reports."""
+        with self._lock:
+            return [
+                {
+                    "queue": r.queue,
+                    "window_index": r.window_index,
+                    "t_start": r.t_start,
+                    "t_end": r.t_end,
+                    "value": r.value,
+                    "baseline": r.baseline,
+                    "z_score": r.z_score,
+                }
+                for r in self._anomalies
+            ]
+
+    def windows(self) -> list[StreamEstimate]:
+        """The raw published estimates (in-process consumers and tests)."""
+        with self._lock:
+            return list(self._published)
+
+    def health(self) -> dict:
+        """One self-describing status record (the ``health`` command)."""
+        with self._lock:
+            status = self._status
+            error = self._error
+            n_published = len(self._published)
+            n_anomalies = len(self._anomalies)
+        stream = self.stream
+        record = {
+            "status": status,
+            "error": error,
+            "windows_published": n_published,
+            "anomalies": n_anomalies,
+            "horizon": float(stream.horizon),
+            "checkpointing": self.checkpoint_path is not None,
+        }
+        if isinstance(stream, LiveTraceStream):
+            record.update(
+                watermark=float(stream.watermark),
+                sealed=stream.sealed,
+                n_revealed=stream.n_revealed,
+                n_pending=stream.n_pending,
+                n_admitted=stream.n_admitted,
+                n_duplicates=stream.n_duplicates,
+                n_late=stream.n_late,
+                n_stragglers=stream.n_stragglers,
+                n_dropped_tasks=stream.n_dropped_tasks,
+            )
+        return record
+
+    # Ingestion passthroughs, so the server needs only this one object.
+
+    def ingest(self, records: list[dict]) -> dict:
+        """Admit measurement records into the live stream."""
+        if not isinstance(self.stream, LiveTraceStream):
+            raise IngestError("this service's stream does not accept ingestion")
+        return self.stream.ingest(records)
+
+    def advance_watermark(self, t: float) -> float:
+        """Advance the live stream's watermark."""
+        if not isinstance(self.stream, LiveTraceStream):
+            raise IngestError("this service's stream has no watermark")
+        return self.stream.advance_watermark(t)
+
+    def seal(self) -> dict:
+        """Seal the live stream (end of input)."""
+        if not isinstance(self.stream, LiveTraceStream):
+            raise IngestError("this service's stream cannot be sealed")
+        return self.stream.seal()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore.
+    # ------------------------------------------------------------------
+
+    def _checkpoint_now(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        if not isinstance(self.stream, LiveTraceStream):
+            return
+        with self._window_lock:  # never snapshot a half-processed window
+            with self._lock:
+                snapshot = {
+                    "version": 1,
+                    "stream": self.stream.snapshot_state(),
+                    "estimator": self.estimator.state_dict(),
+                    "published": list(self._published),
+                    "service": {
+                        "checkpoint_every": self.checkpoint_every,
+                        "poll_interval": self.poll_interval,
+                        "anomaly_threshold": self.anomaly_threshold,
+                    },
+                }
+                self._windows_since_checkpoint = 0
+            tmp = f"{self.checkpoint_path}.tmp"
+            with open(tmp, "wb") as fh:
+                pickle.dump(snapshot, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.checkpoint_path)
+
+    def checkpoint(self) -> None:
+        """Force a snapshot now (also runs on stop and on finish)."""
+        self._checkpoint_now()
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        transport=None,
+        checkpoint_path: str | None = None,
+        **overrides,
+    ) -> "EstimatorService":
+        """Rebuild a service (stream + estimator + published estimates)
+        from a snapshot written by :meth:`checkpoint`.
+
+        The restored estimator continues the snapshot's per-window seed
+        stream exactly, so windows processed after the restart are bitwise
+        the ones the uninterrupted service would have published.  Pass
+        *transport* to rebuild socket-backed shard workers; *overrides*
+        replace stored service options (``checkpoint_every`` etc.).
+        By default the restored service keeps checkpointing to *path*.
+        """
+        with open(path, "rb") as fh:
+            snapshot = pickle.load(fh)
+        if snapshot.get("version") != 1:
+            raise IngestError(
+                f"unrecognized checkpoint version in {path!r}: "
+                f"{snapshot.get('version')!r}"
+            )
+        stream = LiveTraceStream.from_state(snapshot["stream"])
+        est_state = snapshot["estimator"]
+        estimator = StreamingEstimator(
+            stream, transport=transport, **est_state["config"]
+        )
+        estimator.load_state_dict(est_state)
+        options = dict(snapshot["service"])
+        options.update(overrides)
+        service = cls(
+            estimator,
+            checkpoint_path=path if checkpoint_path is None else checkpoint_path,
+            **options,
+        )
+        service._published = list(snapshot["published"])
+        # Publish times are per process lifetime; pre-restart windows get
+        # nan so the list stays index-aligned with the published windows.
+        service.published_at = [float("nan")] * len(service._published)
+        service._anomalies = detect_anomalies(
+            service._published, threshold=service.anomaly_threshold
+        )
+        return service

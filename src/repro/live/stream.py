@@ -1,0 +1,596 @@
+"""A :class:`~repro.online.streaming.TraceStream` fed by live ingestion.
+
+:class:`LiveTraceStream` is the live counterpart of
+:class:`~repro.online.streaming.ReplayTraceStream`: instead of replaying a
+recorded trace it accumulates measurement records
+(:mod:`repro.live.records`) as an instrumented system emits them, and
+reveals tasks to the estimator only once their entry estimates can never
+change again.  Three mechanisms make that honest under real traffic:
+
+**Out-of-order buffer.**  Records land in any order; a task is held until
+all of its events (``seq 0 .. k``, the ``last`` flag closing the range)
+have arrived, and the assembled trace only ever contains the *contiguous
+prefix* of queue-0 counters — a task whose entry counter is 7 cannot be
+assembled while counter 6 is still in flight, because its position in the
+entry order (which entry-time interpolation depends on) would be wrong.
+
+**Watermark + lateness bound.**  The watermark is the stream's "no
+measurement older than this is still coming" promise, advanced by the
+reporting side (:meth:`advance_watermark`) and to infinity by
+:meth:`seal`.  Records are admitted while their measured times are no
+older than ``watermark - lateness``; anything older is a straggler —
+counted, dropped, and its task purged (a partial task can never be
+assembled).  Task reveal additionally waits for the watermark to pass the
+task's entry estimate, so the horizon advances watermark-monotonically.
+
+**Bounded-queue backpressure.**  At most ``max_pending`` records may sit
+unassembled; ingestion beyond that raises
+:class:`~repro.errors.IngestError` so a fast producer blocks/retries
+instead of growing the buffer without bound.
+
+Equivalence contract (pinned by ``tests/live/test_stream.py`` and the
+acceptance suite): ingesting a recorded task-id-major trace in order,
+with no stragglers, and sealing yields a stream whose reveals, horizon,
+and window sub-traces are **bitwise identical** to
+:class:`~repro.online.streaming.ReplayTraceStream` over the same trace —
+so live window estimates match the replay/windowed path exactly at the
+same seed, for any shard-worker count.
+
+Finality argument (why a revealed entry estimate never changes): entry
+times are interpolated by position between *anchors* — tasks whose first
+real arrival was measured; anchor times are non-decreasing along the
+entry order.  Within the contiguous assembled prefix every anchor is
+known, interpolation between two anchors touches only those two anchors,
+and later tasks only ever append positions after the prefix — so every
+estimate at a position no later than the prefix's last anchor is final.
+Positions beyond the last anchor would be clamped to it, a value a future
+anchor *could* change, so they are revealed only by :meth:`seal`, which
+is also when the clamp semantics become bitwise those of the replay
+source.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import IngestError, InvalidEventSetError
+from repro.events.serialization import validate_measurement_record
+from repro.events.subset import SubsetIndex, subset_trace
+from repro.live.records import assemble_trace, record_times
+from repro.observation import ObservedTrace
+from repro.online.streaming import TraceStream
+
+
+class LiveTraceStream(TraceStream):
+    """An incrementally revealed trace fed by :meth:`ingest`.
+
+    Parameters
+    ----------
+    n_queues:
+        Queue count of the monitored network (queue 0 is the entry queue,
+        as everywhere in this package).
+    lateness:
+        Grace interval behind the watermark within which measurements are
+        still admitted (counted as *late*); anything older is a straggler
+        and is dropped together with its task.
+    max_pending:
+        Bound on buffered (not yet assembled) records — the backpressure
+        threshold.
+    """
+
+    def __init__(
+        self,
+        n_queues: int,
+        lateness: float = 0.0,
+        max_pending: int = 100_000,
+    ) -> None:
+        if n_queues < 2:
+            raise IngestError("n_queues must include queue 0 plus real queues")
+        if lateness < 0.0:
+            raise IngestError(f"lateness must be >= 0, got {lateness}")
+        if max_pending < 1:
+            raise IngestError(f"max_pending must be >= 1, got {max_pending}")
+        self.n_queues = int(n_queues)
+        self.lateness = float(lateness)
+        self.max_pending = int(max_pending)
+        self._lock = threading.RLock()
+        self._progress = threading.Condition(self._lock)
+        # Out-of-order buffer: task -> seq -> record, plus the expected
+        # event count once the `last` record has arrived.
+        self._buffer: dict[int, dict[int, dict]] = {}
+        self._expected: dict[int, int] = {}
+        self._n_buffered = 0
+        # Queue-0 counter bookkeeping: slot -> task, and the resolved
+        # ("final" / "dropped") prefix the assembled trace is built from.
+        self._slot_task: dict[int, int] = {}
+        self._resolved: dict[int, str] = {}
+        self._next_slot = 0
+        self._final_records: dict[int, list[dict]] = {}  # in finalize order
+        self._dropped_tasks: set[int] = set()
+        # Watermark state.
+        self._watermark = -np.inf
+        self._sealed = False
+        # Assembled-trace cache, rebuilt lazily on access (`trace` /
+        # `subset`) when the finalized prefix grew — never per batch.
+        self._trace: ObservedTrace | None = None
+        self._trace_n_tasks = 0
+        self._index: SubsetIndex | None = None
+        # Reveal state.  Entry estimation works on two append-only
+        # columns maintained at finalize time — the task sequence in
+        # entry order and each task's anchor (its first real arrival,
+        # when measured; nan otherwise) — so per-batch reveal work is one
+        # C-speed interpolation, not a Python trace rebuild.  The
+        # interpolation is the same ``np.interp`` call (same positions,
+        # same anchors) `_entry_time_estimates` makes over the assembled
+        # trace, so revealed values stay bitwise the replay source's.
+        self._reveal_tasks: list[int] = []
+        self._reveal_anchors: list[float] = []
+        self._entry_values: np.ndarray | None = None
+        self._ready: list[tuple[int, float]] = []
+        self._ready_upto = 0  # entry-prefix positions already revealed
+        self._cursor = 0
+        # Telemetry.
+        self.n_admitted = 0
+        self.n_duplicates = 0
+        self.n_late = 0
+        self.n_stragglers = 0
+        self.n_dropped_tasks = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion API.
+    # ------------------------------------------------------------------
+
+    def ingest(self, records: list[dict]) -> dict:
+        """Admit a batch of measurement records; returns admission counts.
+
+        Idempotent under at-least-once delivery: records for tasks already
+        assembled (or already in the buffer) are counted as duplicates and
+        ignored, so a client may safely retry a batch after a timeout or a
+        server restart.
+
+        Raises
+        ------
+        IngestError
+            If the stream is sealed, if admitting the batch would exceed
+            ``max_pending`` buffered records (backpressure — retry after
+            the assembler drains), or if a record is malformed or
+            conflicts with an already admitted one.
+        """
+        with self._lock:
+            if self._sealed:
+                raise IngestError("the stream is sealed; no more records")
+            summary = {
+                "admitted": 0, "duplicates": 0, "late": 0,
+                "stragglers": 0, "dropped_tasks": 0,
+            }
+            try:
+                for raw in records:
+                    try:
+                        record = validate_measurement_record(raw)
+                    except InvalidEventSetError as exc:
+                        raise IngestError(str(exc)) from None
+                    self._admit(record, summary)
+            finally:
+                # Assemble even when the batch aborted mid-way (e.g. on
+                # backpressure): records admitted before the error must
+                # still drain the buffer, or a full buffer could never
+                # empty and retries would livelock.  Resolved entry slots
+                # (a dropped task's late seq-0 record) count as progress
+                # too — they can unblock the whole prefix.
+                if (
+                    summary["admitted"]
+                    or summary["dropped_tasks"]
+                    or summary.get("resolved_slots")
+                ):
+                    self._advance_prefix()
+                    self._advance_reveal()
+                    self._progress.notify_all()
+            return summary
+
+    def _admit(self, record: dict, summary: dict) -> None:
+        task = record["task"]
+        if record["queue"] >= self.n_queues:
+            raise IngestError(
+                f"record for task {task} references queue {record['queue']} "
+                f"but the stream serves n_queues={self.n_queues}"
+            )
+        if task in self._dropped_tasks:
+            summary["stragglers"] += 1
+            self.n_stragglers += 1
+            if record["seq"] == 0:
+                # The task was dropped before its entry record arrived;
+                # resolve the slot now or the prefix would stall on the
+                # hole forever (no seal on an always-on stream).
+                if self._resolved.setdefault(record["counter"], "dropped") == "dropped":
+                    summary["resolved_slots"] = summary.get("resolved_slots", 0) + 1
+            return
+        if task in self._final_records or (
+            task in self._buffer and record["seq"] in self._buffer[task]
+        ):
+            summary["duplicates"] += 1
+            self.n_duplicates += 1
+            return
+        times = record_times(record)
+        cutoff = self._watermark - self.lateness
+        if any(t < cutoff for t in times):
+            # Straggler: too old to ever be admitted — the task can no
+            # longer be completed, so purge everything it buffered.
+            summary["stragglers"] += 1
+            self.n_stragglers += 1
+            self._drop_task(task, summary)
+            return
+        if any(t < self._watermark for t in times):
+            summary["late"] += 1
+            self.n_late += 1
+        if task not in self._buffer and self._n_buffered >= self.max_pending:
+            # Backpressure applies to records *opening* tasks; records
+            # completing already-buffered tasks are always admitted (they
+            # are what lets the assembler drain the buffer at all).
+            raise IngestError(
+                f"ingest buffer full ({self.max_pending} pending records); "
+                "backpressure — retry once the assembler drains"
+            )
+        per_task = self._buffer.setdefault(task, {})
+        if record["last"]:
+            expected = record["seq"] + 1
+            prior = self._expected.get(task)
+            if prior is not None and prior != expected:
+                raise IngestError(
+                    f"task {task}: conflicting `last` records claim "
+                    f"{prior} and {expected} events"
+                )
+            # Retro-check records that landed before the `last` one did:
+            # with every buffered seq proven < expected, a count match is
+            # a completeness proof (keys are unique), so an out-of-order
+            # seq-gap task can never pass the gate and poison assembly.
+            stale = sorted(s for s in per_task if s >= expected)
+            if stale:
+                raise IngestError(
+                    f"task {task}: buffered records at seq {stale} lie "
+                    f"beyond the declared last event (seq {expected - 1})"
+                )
+            self._expected[task] = expected
+        expected = self._expected.get(task)
+        if expected is not None and record["seq"] >= expected:
+            raise IngestError(
+                f"task {task}: record seq {record['seq']} beyond the "
+                f"declared last event (seq {expected - 1})"
+            )
+        if record["seq"] == 0:
+            slot = record["counter"]
+            owner = self._slot_task.get(slot)
+            if owner is not None and owner != task:
+                raise IngestError(
+                    f"entry counter {slot} claimed by tasks {owner} and "
+                    f"{task}: the reporting side is emitting corrupt counters"
+                )
+            self._slot_task[slot] = task
+        per_task[record["seq"]] = record
+        self._n_buffered += 1
+        self.n_admitted += 1
+        summary["admitted"] += 1
+
+    def _drop_task(self, task: int, summary: dict) -> None:
+        """Purge a task that can no longer be assembled."""
+        dropped = self._buffer.pop(task, {})
+        self._n_buffered -= len(dropped)
+        self._expected.pop(task, None)
+        self._dropped_tasks.add(task)
+        self.n_dropped_tasks += 1
+        summary["dropped_tasks"] += 1
+        # The task's entry slot is its buffered seq-0 record's counter —
+        # a slot only ever enters _slot_task at seq-0 admission, so there
+        # is nothing to resolve when that record has not arrived yet (the
+        # dropped-task branch of _admit resolves it on late arrival).
+        seq0 = dropped.get(0)
+        if seq0 is not None:
+            self._resolved[seq0["counter"]] = "dropped"
+
+    def advance_watermark(self, t: float) -> float:
+        """Promise that no measurement older than *t* is still coming.
+
+        Monotone (an older watermark is ignored); advancing it both arms
+        the straggler cutoff for future records and lets reveals catch up
+        to tasks whose entry estimates it passed.  Returns the watermark
+        now in force.
+        """
+        with self._lock:
+            t = float(t)
+            if t > self._watermark:
+                self._watermark = t
+                self._advance_reveal()
+                self._progress.notify_all()
+            return self._watermark
+
+    def seal(self) -> dict:
+        """End of input: finalize everything that can be, drop the rest.
+
+        Sets the watermark to infinity, drops still-incomplete buffered
+        tasks (counted), resolves their entry slots, and reveals every
+        assembled task — from here the stream behaves exactly like a
+        :class:`~repro.online.streaming.ReplayTraceStream` over the
+        assembled trace.  Idempotent.
+        """
+        with self._lock:
+            if self._sealed:
+                return {"dropped_tasks": 0}
+            self._sealed = True
+            self._watermark = np.inf
+            summary = {"dropped_tasks": 0}
+            for task in list(self._buffer):
+                # Complete tasks merely blocked behind a hole in the entry
+                # prefix are kept — resolving the holes below lets them
+                # assemble; only genuinely partial tasks are unbuildable.
+                if not self._task_complete(task):
+                    self._drop_task(task, summary)
+            # Entry slots below the highest known one whose seq-0 record
+            # never arrived can no longer be filled: resolve them as
+            # dropped so complete tasks behind the hole still assemble.
+            if self._slot_task:
+                for slot in range(self._next_slot, max(self._slot_task)):
+                    if slot not in self._slot_task and slot not in self._resolved:
+                        self._resolved[slot] = "dropped"
+                        self.n_dropped_tasks += 1
+                        summary["dropped_tasks"] += 1
+            self._advance_prefix()
+            self._advance_reveal()
+            self._progress.notify_all()
+            return summary
+
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has been called."""
+        return self._sealed
+
+    @property
+    def watermark(self) -> float:
+        """The watermark currently in force."""
+        return self._watermark
+
+    @property
+    def n_pending(self) -> int:
+        """Records buffered but not yet assembled (the backpressure gauge)."""
+        with self._lock:
+            return self._n_buffered
+
+    def wait_for_progress(self, timeout: float | None = None) -> None:
+        """Block until ingestion/watermark/seal makes progress (or timeout)."""
+        with self._progress:
+            self._progress.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Assembly: completeness -> contiguous prefix -> reveal.
+    # ------------------------------------------------------------------
+
+    def _task_complete(self, task: int) -> bool:
+        expected = self._expected.get(task)
+        if expected is None:
+            return False
+        return len(self._buffer.get(task, ())) == expected
+
+    def _advance_prefix(self) -> None:
+        """Resolve queue-0 slots in order; assemble completed tasks."""
+        while True:
+            slot = self._next_slot
+            if self._resolved.get(slot) == "dropped":
+                self._next_slot += 1
+                continue
+            task = self._slot_task.get(slot)
+            if task is None or not self._task_complete(task):
+                return
+            records = self._buffer.pop(task)
+            self._n_buffered -= len(records)
+            self._expected.pop(task)
+            ordered = [records[s] for s in sorted(records)]
+            self._final_records[task] = ordered
+            self._resolved[slot] = "final"
+            self._next_slot += 1
+            self._append_reveal_columns(task, ordered)
+            self._trace = None  # prefix grew; rebuild lazily on access
+
+    def _assembled(self) -> ObservedTrace | None:
+        """The trace over the finalized prefix, rebuilt lazily on access.
+
+        Rebuilds happen at most once per prefix growth *and only when a
+        window actually reads the trace* — never per ingest batch — but
+        each rebuild is still O(total history): the replay path's
+        asymptotics per window, paid while the stream grows.  A fully
+        incremental assembler (append columns + splice queue orders in
+        place) is the known next step for unbounded streams; see
+        ROADMAP.
+        """
+        if not self._final_records:
+            return None
+        if self._trace is None or self._trace_n_tasks != len(self._final_records):
+            self._trace = assemble_trace(
+                list(self._final_records.values()), n_queues=self.n_queues
+            )
+            self._trace_n_tasks = len(self._final_records)
+            self._index = SubsetIndex(self._trace.skeleton)
+        return self._trace
+
+    def _append_reveal_columns(self, task: int, ordered: list[dict]) -> None:
+        """Extend the entry-order reveal columns for one finalized task.
+
+        The anchor is the task's first real arrival when it was measured
+        — exactly the events `_entry_time_estimates` anchors interpolation
+        on (a queue-0 event's successor arrival equals the entry time by
+        the ``a_e = d_{pi(e)}`` identity).
+        """
+        anchor = np.nan
+        if len(ordered) > 1 and ordered[1]["arrival"] is not None:
+            anchor = float(ordered[1]["arrival"])
+        self._reveal_tasks.append(int(task))
+        self._reveal_anchors.append(anchor)
+        self._entry_values = None  # interpolation inputs grew
+
+    def _advance_reveal(self) -> None:
+        """Append newly *final* entry estimates to the reveal list."""
+        n = len(self._reveal_tasks)
+        if self._ready_upto >= n:
+            return
+        anchors = np.asarray(self._reveal_anchors, dtype=float)
+        known = np.flatnonzero(~np.isnan(anchors))
+        if known.size == 0:
+            return
+        if self._entry_values is None or self._entry_values.size != n:
+            # The same interpolation `_entry_time_estimates` runs over the
+            # assembled trace: positions in entry order, anchored where
+            # the first real arrival was observed — bitwise identical.
+            positions = np.arange(n, dtype=float)
+            self._entry_values = np.interp(
+                positions, positions[known], anchors[known]
+            )
+        if self._sealed:
+            final_upto = n  # clamp semantics are final now
+        else:
+            final_upto = int(known.max()) + 1
+        for pos in range(self._ready_upto, final_upto):
+            entry = float(self._entry_values[pos])
+            if not self._sealed and entry > self._watermark:
+                final_upto = pos
+                break
+            self._ready.append((self._reveal_tasks[pos], entry))
+        self._ready_upto = max(self._ready_upto, final_upto)
+
+    # ------------------------------------------------------------------
+    # TraceStream contract.
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> ObservedTrace:
+        with self._lock:
+            trace = self._assembled()
+            if trace is None:
+                raise IngestError(
+                    "no task has been fully ingested yet; the stream has "
+                    "no trace to expose"
+                )
+            return trace
+
+    @property
+    def horizon(self) -> float:
+        with self._lock:
+            if not self._ready:
+                return 0.0
+            return self._ready[-1][1]
+
+    @property
+    def n_revealed(self) -> int:
+        """Tasks handed out by :meth:`poll` so far."""
+        with self._lock:
+            return self._cursor
+
+    def poll(self, until: float) -> list[tuple[int, float]]:
+        with self._lock:
+            out: list[tuple[int, float]] = []
+            while (
+                self._cursor < len(self._ready)
+                and self._ready[self._cursor][1] < until
+            ):
+                out.append(self._ready[self._cursor])
+                self._cursor += 1
+            return out
+
+    def subset(self, task_ids) -> ObservedTrace:
+        with self._lock:
+            trace = self._assembled()
+            if trace is None:
+                raise IngestError("no task has been fully ingested yet")
+            return subset_trace(trace, task_ids, index=self._index)
+
+    def exhausted(self) -> bool:
+        with self._lock:
+            return (
+                self._sealed
+                and self._cursor >= len(self._ready)
+                and not self._buffer
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpointing.
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Everything needed to rebuild this stream after a restart.
+
+        Plain picklable containers only.  The assembled trace itself is
+        *not* stored — :meth:`from_state` reassembles it from the record
+        log deterministically, which is what makes restored window
+        estimates bitwise identical.
+        """
+        with self._lock:
+            return {
+                "version": 1,
+                "n_queues": self.n_queues,
+                "lateness": self.lateness,
+                "max_pending": self.max_pending,
+                "watermark": float(self._watermark),
+                "sealed": self._sealed,
+                "buffer": {t: dict(v) for t, v in self._buffer.items()},
+                "expected": dict(self._expected),
+                "slot_task": dict(self._slot_task),
+                "resolved": dict(self._resolved),
+                "next_slot": self._next_slot,
+                "final_records": {
+                    t: list(v) for t, v in self._final_records.items()
+                },
+                "dropped_tasks": sorted(self._dropped_tasks),
+                "n_polled": self._cursor,
+                "counters": {
+                    "n_admitted": self.n_admitted,
+                    "n_duplicates": self.n_duplicates,
+                    "n_late": self.n_late,
+                    "n_stragglers": self.n_stragglers,
+                    "n_dropped_tasks": self.n_dropped_tasks,
+                },
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LiveTraceStream":
+        """Rebuild a stream from :meth:`snapshot_state` output.
+
+        The reveal list is *recomputed* from the restored record log (the
+        same deterministic path normal ingestion takes), then the poll
+        cursor is moved back to where the snapshot left it — so the next
+        :meth:`poll` hands the estimator exactly the tasks it had not yet
+        consumed.
+        """
+        stream = cls(
+            n_queues=state["n_queues"],
+            lateness=state["lateness"],
+            max_pending=state["max_pending"],
+        )
+        stream._watermark = state["watermark"]
+        stream._sealed = state["sealed"]
+        stream._buffer = {
+            int(t): {int(s): r for s, r in v.items()}
+            for t, v in state["buffer"].items()
+        }
+        stream._n_buffered = sum(len(v) for v in stream._buffer.values())
+        stream._expected = {int(t): int(n) for t, n in state["expected"].items()}
+        stream._slot_task = {int(s): int(t) for s, t in state["slot_task"].items()}
+        stream._resolved = {int(s): v for s, v in state["resolved"].items()}
+        stream._next_slot = int(state["next_slot"])
+        stream._final_records = {
+            int(t): list(v) for t, v in state["final_records"].items()
+        }
+        stream._dropped_tasks = set(state["dropped_tasks"])
+        for name, value in state["counters"].items():
+            setattr(stream, name, int(value))
+        # Rebuild the entry-order reveal columns from the record log (its
+        # insertion order *is* the finalize order), then re-reveal — the
+        # same deterministic path normal ingestion takes.
+        for task, ordered in stream._final_records.items():
+            stream._append_reveal_columns(task, ordered)
+        stream._advance_reveal()
+        n_polled = int(state["n_polled"])
+        if n_polled > len(stream._ready):
+            raise IngestError(
+                f"corrupt snapshot: {n_polled} tasks were polled but only "
+                f"{len(stream._ready)} are revealable from the record log"
+            )
+        stream._cursor = n_polled
+        return stream

@@ -65,9 +65,12 @@ class TraceStream:
     Subclasses reveal tasks in (estimated) system-entry order; the
     estimator only ever touches tasks the stream has revealed, which is
     what makes the adapter honest about what an online deployment could
-    know.  A live source would accumulate measurements into a growing
-    :class:`~repro.observation.ObservedTrace`; :class:`ReplayTraceStream`
-    replays a recorded one for tests and benchmarks.
+    know.  :class:`ReplayTraceStream` replays a recorded trace for tests
+    and benchmarks; :class:`~repro.live.stream.LiveTraceStream`
+    accumulates measurements from a running system as they are reported.
+    The contract both must satisfy — poll monotonicity, horizon
+    semantics, subset stability — is pinned by
+    ``tests/test_trace_stream_contract.py``.
     """
 
     @property
@@ -296,6 +299,74 @@ class StreamingEstimator:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Checkpointing (the live service's crash-recovery hook).
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume window processing bitwise.
+
+        Captures the estimator's configuration, its per-window bookkeeping
+        (entry estimates, observed-task cache, carried partition), and —
+        the part that makes resumption exact — the seed material plus the
+        number of per-window children already spawned from it: window *i*
+        always consumes the *i*-th spawn, so a restored estimator's next
+        window draws the same stream the uninterrupted run would have.
+        Worker pools and transports are runtime substrate, never state;
+        they are rebuilt on demand and cannot change a draw.
+        """
+        return {
+            "version": 1,
+            "config": {
+                "window": self.window,
+                "step": self.step,
+                "stem_iterations": self.stem_iterations,
+                "min_observed_tasks": self.min_observed_tasks,
+                "shards": self.shards,
+                "shard_workers": self.shard_workers,
+                "repartition": self.repartition,
+                "warm_workers": self.warm_workers,
+            },
+            "seed": {
+                "entropy": self._seed_seq.entropy,
+                "spawn_key": tuple(self._seed_seq.spawn_key),
+                "n_children_spawned": self._seed_seq.n_children_spawned,
+            },
+            "entries": dict(self._entries),
+            "observed": dict(self._observed),
+            "assignment": dict(self._assignment),
+            "prev_n_shards": self._prev_n_shards,
+            "n_windows_done": self.n_windows_done,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this estimator.
+
+        The estimator must have been constructed with the same
+        configuration the state was captured under (checked), and its
+        stream must be positioned where the snapshot left it (the live
+        stream's own snapshot carries that).
+        """
+        config = state["config"]
+        mine = self.state_dict()["config"]
+        if config != mine:
+            raise InferenceError(
+                f"checkpoint was captured under config {config}, but this "
+                f"estimator was built with {mine}; estimates would not be "
+                "reproducible — construct the estimator from the checkpoint"
+            )
+        seed = state["seed"]
+        self._seed_seq = np.random.SeedSequence(
+            entropy=seed["entropy"],
+            spawn_key=tuple(seed["spawn_key"]),
+            n_children_spawned=seed["n_children_spawned"],
+        )
+        self._entries = {int(k): float(v) for k, v in state["entries"].items()}
+        self._observed = {int(k): bool(v) for k, v in state["observed"].items()}
+        self._assignment = {int(k): int(v) for k, v in state["assignment"].items()}
+        self._prev_n_shards = int(state["prev_n_shards"])
+        self.n_windows_done = int(state["n_windows_done"])
 
     # ------------------------------------------------------------------
     # Window processing.

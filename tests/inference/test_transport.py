@@ -144,6 +144,81 @@ class TestEndpoints:
         finally:
             transport.close()
 
+    def test_wrong_authkey_is_named_in_the_master_error(self):
+        """A key mismatch must be diagnosable from the launch error alone:
+        'no worker connected' with zero context used to look exactly like
+        a dead worker host."""
+        transport = SocketTransport(
+            accept_timeout=1.0, spawn_local=False, authkey=b"right-key"
+        )
+        worker_error = {}
+
+        def mismatched_worker():
+            try:
+                serve_worker(transport.address, b"wrong-key")
+            except InferenceError as exc:
+                worker_error["exc"] = exc
+
+        worker = threading.Thread(target=mismatched_worker, daemon=True)
+        worker.start()
+        try:
+            with pytest.raises(
+                InferenceError, match="failed the HMAC handshake"
+            ):
+                transport.launch(_echo_worker, [])
+            worker.join(timeout=10.0)
+            assert transport.n_rejected == 1
+            # ... and the worker side names the same likely cause.
+            assert "wrong authkey" in str(worker_error["exc"])
+        finally:
+            transport.close()
+
+    def test_truncated_hello_is_counted_and_named(self):
+        """A peer that closes mid-handshake (crash, wrong protocol) is
+        counted as a handshake failure, not reported as silence."""
+        transport = SocketTransport(accept_timeout=1.0, spawn_local=False)
+
+        def flaky_peer():
+            sock = socket.create_connection(transport.address)
+            sock.recv(64)          # master nonce arrives ...
+            sock.sendall(b"\x01" * 5)  # ... truncated reply, then vanish
+            sock.close()
+
+        thread = threading.Thread(target=flaky_peer, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(
+                InferenceError,
+                match=r"no worker connected.*1 connection\(s\) .* failed",
+            ):
+                transport.launch(_echo_worker, [])
+            thread.join(timeout=10.0)
+            assert transport.n_rejected == 1
+        finally:
+            transport.close()
+
+    def test_worker_gets_a_clear_error_for_a_truncated_master_hello(self):
+        """The worker side of the same failure: a master that hangs up
+        mid-handshake must raise InferenceError, not a bare EOFError."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+
+        def rude_master():
+            conn, _ = listener.accept()
+            conn.sendall(b"\x02" * 5)  # truncated nonce, then hang up
+            conn.close()
+
+        thread = threading.Thread(target=rude_master, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(
+                InferenceError, match="during the handshake"
+            ):
+                serve_worker(address, b"any-key", handshake_timeout=5.0)
+            thread.join(timeout=10.0)
+        finally:
+            listener.close()
+
     def test_worker_refuses_a_rogue_master(self):
         """serve_worker with the wrong key must not run the shipped main,
         and must fail loudly so a misconfiguration is diagnosable."""

@@ -1,0 +1,193 @@
+"""Tests for the live ingestion/query server (repro.live.server)."""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import IngestError
+from repro.live import (
+    EstimatorService,
+    LiveClient,
+    LiveServer,
+    LiveTraceStream,
+    replay_batches,
+)
+from repro.network import build_tandem_network
+from repro.observation import TaskSampling
+from repro.online import StreamingEstimator, WindowedEstimator
+from repro.simulate import simulate_network
+
+
+def make_trace(n_tasks=150, seed=3, fraction=0.3):
+    net = build_tandem_network(4.0, [6.0, 8.0])
+    sim = simulate_network(net, n_tasks, random_state=seed)
+    trace = TaskSampling(fraction=fraction).observe(sim.events, random_state=1)
+    horizon = float(np.nanmax(sim.events.departure))
+    return trace, horizon
+
+
+def make_service(trace, horizon, windows=3, **est_kwargs):
+    stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+    estimator = StreamingEstimator(
+        stream, window=horizon / windows, stem_iterations=8, random_state=5,
+        **est_kwargs,
+    )
+    return EstimatorService(estimator, poll_interval=0.02)
+
+
+def wait_until(client, statuses=("finished", "failed"), timeout=90.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        health = client.health()
+        if health["status"] in statuses:
+            return health
+        time.sleep(0.02)
+    raise AssertionError(f"service never reached {statuses}: {client.health()}")
+
+
+class TestServerSmoke:
+    def test_live_server_smoke_bitwise_vs_replay(self):
+        """The CI smoke: start a server, ingest a short trace over the
+        wire, and the published windows match the replay/windowed path
+        bitwise at the same seed."""
+        trace, horizon = make_trace()
+        ref = WindowedEstimator(
+            trace, window=horizon / 3, stem_iterations=8, random_state=5
+        ).run()
+        service = make_service(trace, horizon, windows=3)
+        with service, LiveServer(service, authkey=b"smoke-key") as server:
+            client = LiveClient(server.address, authkey=b"smoke-key")
+            with client:
+                for watermark, batch in replay_batches(trace):
+                    client.advance_watermark(watermark)
+                    client.ingest(batch)
+                client.seal()
+                health = wait_until(client)
+                assert health["status"] == "finished", health["error"]
+                published = client.estimates()
+        assert len(published) == len(ref)
+        assert any(w["rates"] is not None for w in published)
+        for a, b in zip(ref, published):
+            assert (a.t_start, a.t_end) == (b["t_start"], b["t_end"])
+            assert a.n_tasks == b["n_tasks"]
+            if a.rates is None:
+                assert b["rates"] is None
+            else:
+                np.testing.assert_array_equal(
+                    np.asarray(a.rates), np.asarray(b["rates"])
+                )
+
+    def test_health_and_estimates_since(self):
+        trace, horizon = make_trace(n_tasks=100)
+        service = make_service(trace, horizon, windows=2)
+        with service, LiveServer(service, authkey=b"k") as server:
+            with LiveClient(server.address, authkey=b"k") as client:
+                health = client.health()
+                assert health["status"] == "serving"
+                assert health["sealed"] is False
+                assert health["windows_published"] == 0
+                for watermark, batch in replay_batches(trace):
+                    client.advance_watermark(watermark)
+                    client.ingest(batch)
+                client.seal()
+                health = wait_until(client)
+                assert health["n_admitted"] == trace.skeleton.n_events
+                assert health["sealed"] is True
+                all_of_them = client.estimates()
+                tail = client.estimates(since=1)
+                assert all_of_them[1:] == tail
+                assert client.anomalies() == []  # healthy two-window trace
+
+    def test_multiple_clients_share_one_stream(self):
+        trace, horizon = make_trace(n_tasks=100)
+        service = make_service(trace, horizon, windows=2)
+        batches = replay_batches(trace, batch_tasks=8)
+        with service, LiveServer(service, authkey=b"k") as server:
+            a = LiveClient(server.address, authkey=b"k")
+            b = LiveClient(server.address, authkey=b"k")
+            with a, b:
+                for i, (watermark, batch) in enumerate(batches):
+                    sender = a if i % 2 == 0 else b
+                    sender.advance_watermark(watermark)
+                    sender.ingest(batch)
+                a.seal()
+                health = wait_until(b)
+                assert health["status"] == "finished", health["error"]
+                assert health["n_admitted"] == trace.skeleton.n_events
+
+
+class TestProtocolErrors:
+    def test_wrong_authkey_raises_clearly_on_the_client(self):
+        trace, horizon = make_trace(n_tasks=60)
+        service = make_service(trace, horizon)
+        with service, LiveServer(service, authkey=b"right") as server:
+            with pytest.raises(IngestError, match="wrong authkey|handshake"):
+                LiveClient(server.address, authkey=b"wrong")
+            deadline = time.time() + 5.0
+            while server.n_rejected == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert server.n_rejected == 1
+            # The real client still gets through afterwards.
+            with LiveClient(server.address, authkey=b"right") as client:
+                assert client.health()["status"] == "serving"
+
+    def test_truncated_hello_is_rejected_without_wedging(self):
+        trace, horizon = make_trace(n_tasks=60)
+        service = make_service(trace, horizon)
+        with service, LiveServer(service, authkey=b"k") as server:
+            sock = socket.create_connection(server.address)
+            sock.recv(64)      # server nonce
+            sock.sendall(b"\x00" * 7)  # truncated digest+nonce
+            sock.close()
+            deadline = time.time() + 5.0
+            while server.n_rejected == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert server.n_rejected == 1
+            with LiveClient(server.address, authkey=b"k") as client:
+                assert client.health()["status"] == "serving"
+
+    def test_unknown_command_and_bad_arguments_get_error_replies(self):
+        trace, horizon = make_trace(n_tasks=60)
+        service = make_service(trace, horizon)
+        with service, LiveServer(service, authkey=b"k") as server:
+            with LiveClient(server.address, authkey=b"k") as client:
+                with pytest.raises(IngestError, match="unknown command"):
+                    client._call("frobnicate")
+                with pytest.raises(IngestError, match="bad arguments"):
+                    client._call("estimates", "not-an-int", 2, 3)
+                # Unconvertible values get an error reply, not a dead
+                # handler thread.
+                with pytest.raises(IngestError, match="bad arguments"):
+                    client._call("watermark", "not-a-time")
+                with pytest.raises(IngestError, match="bad arguments"):
+                    client._call("estimates", "x")
+                # The connection survives error replies.
+                assert client.health()["status"] == "serving"
+
+    def test_backpressure_surfaces_as_an_error_reply(self):
+        trace, horizon = make_trace(n_tasks=80)
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues, max_pending=10)
+        estimator = StreamingEstimator(
+            stream, window=horizon, stem_iterations=5, random_state=0
+        )
+        service = EstimatorService(estimator, poll_interval=0.02)
+        from repro.live import trace_to_records
+
+        # Withhold seq-0 records: nothing can assemble, the buffer fills.
+        stuck = [r for r in trace_to_records(trace) if r["seq"] != 0]
+        with service, LiveServer(service, authkey=b"k") as server:
+            with LiveClient(server.address, authkey=b"k") as client:
+                with pytest.raises(IngestError, match="backpressure"):
+                    client.ingest(stuck)
+                assert client.health()["n_pending"] == 10
+
+    def test_shutdown_command_wakes_the_serve_loop(self):
+        trace, horizon = make_trace(n_tasks=60)
+        service = make_service(trace, horizon)
+        with service, LiveServer(service, authkey=b"k") as server:
+            assert not server.wait_for_shutdown(timeout=0.0)
+            with LiveClient(server.address, authkey=b"k") as client:
+                client.shutdown()
+            assert server.wait_for_shutdown(timeout=5.0)

@@ -142,6 +142,89 @@ class TestStream:
         assert "win" in capsys.readouterr().out
 
 
+class TestServeIngest:
+    def _free_port(self):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def test_serve_and_ingest_round_trip(self, tmp_path, capsys):
+        import threading
+        import time
+
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "120",
+            "--arrival-rate", "4", "--service-rate", "8",
+            "--servers", "1", "2", "--seed", "3", "--out", str(out),
+        ])
+        capsys.readouterr()
+        port = self._free_port()
+        codes = {}
+
+        def serve():
+            codes["serve"] = main([
+                "serve", "--queues", "3", "--window", "12",
+                "--port", str(port), "--authkey", "test-key",
+                "--iterations", "6", "--seed", "0",
+            ])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        codes["ingest"] = main([
+            "ingest", str(out), "--connect", f"127.0.0.1:{port}",
+            "--authkey", "test-key", "--observe", "0.3",
+            "--wait", "--shutdown",
+        ])
+        thread.join(30.0)
+        assert not thread.is_alive()
+        assert codes == {"serve": 0, "ingest": 0}
+        text = capsys.readouterr().out
+        assert "listening on" in text
+        assert "published window estimates" in text
+        assert "shutdown requested" in text
+
+    def test_serve_validation(self):
+        with pytest.raises(SystemExit, match="--queues and --window"):
+            main(["serve"])
+        with pytest.raises(SystemExit, match="window must be positive"):
+            main(["serve", "--queues", "3", "--window", "0"])
+        with pytest.raises(SystemExit, match="--shard-workers requires"):
+            main(["serve", "--queues", "3", "--window", "1",
+                  "--shard-workers", "2"])
+        with pytest.raises(SystemExit, match="--restore resumes"):
+            main(["serve", "--restore", "x.ckpt", "--window", "1"])
+        # Every estimator/stream flag is frozen by the checkpoint; passing
+        # one must be an error, not a silent ignore.
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["serve", "--restore", "x.ckpt", "--shards", "4"])
+        with pytest.raises(SystemExit, match="--lateness"):
+            main(["serve", "--restore", "x.ckpt", "--lateness", "5"])
+        with pytest.raises(SystemExit, match="cannot restore"):
+            main(["serve", "--restore", "/nonexistent/x.ckpt"])
+
+    def test_ingest_validation(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "20",
+            "--servers", "1", "2", "--out", str(out),
+        ])
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["ingest", str(out), "--connect", "nonsense"])
+        with pytest.raises(SystemExit, match="--speedup"):
+            main(["ingest", str(out), "--speedup", "-1"])
+        with pytest.raises(SystemExit, match="--batch"):
+            main(["ingest", str(out), "--batch", "0"])
+        with pytest.raises(SystemExit, match="cannot connect"):
+            main(["ingest", str(out),
+                  "--connect", f"127.0.0.1:{self._free_port()}"])
+
+
 class TestArgumentErrors:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -12,7 +12,12 @@ loop on a simulated webapp trace (the paper's Section 5.2 workload):
 * **window-publish latency** — wall-clock delay from the moment a
   window's population became final (the watermark/seal passed its end)
   to the moment the service published its estimate, which bundles the
-  StEM solve itself with every queueing/scheduling overhead in between.
+  StEM solve itself with every queueing/scheduling overhead in between;
+* **steady-state memory + per-window latency** — a long compacting
+  stream driven through the ingest -> watermark -> window -> compact
+  cycle, reporting the warm-vs-tail per-window latency ratio (a flat
+  ratio is the no-O(history) guarantee), the retained container sizes,
+  and the checkpoint snapshot size at the end of the run.
 
 Results land in ``BENCH_live.json`` (uploaded as a CI artifact); the CI
 smoke asserts the service finishes, every grid window is published, and
@@ -22,6 +27,7 @@ from the artifact history, regressions from the assertions.
 
 import json
 import os
+import pickle
 import threading
 import time
 
@@ -42,6 +48,30 @@ RESULT_PATH = "BENCH_live.json"
 #: Deliberately loose floor: catches "the server serialized everything
 #: through one lock" class regressions, not scheduler noise.
 MIN_RECORDS_PER_SECOND = 100.0
+
+#: The steady-state tail may be this much slower than the warm early
+#: batches — far inside any O(history) trend, far outside timer noise.
+MAX_TAIL_TO_WARM_RATIO = 4.0
+
+
+def merge_result(key: str, payload: dict) -> None:
+    """Merge one benchmark's result into ``BENCH_live.json``.
+
+    Both tests in this module report into the same artifact; each owns a
+    top-level key so whichever runs second doesn't clobber the first.
+    """
+    data: dict = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    if "benchmark" in data:  # pre-merge flat layout from an older run
+        data = {str(data["benchmark"]): data}
+    data[key] = payload
+    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
 
 
 def test_live_serving_throughput_and_latency(benchmark):
@@ -156,8 +186,7 @@ def test_live_serving_throughput_and_latency(benchmark):
         "publish_latency_max_seconds": float(np.max(latencies)),
         "windows_ok": len(ok),
     }
-    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=2, sort_keys=True)
+    merge_result("live_serving", result)
     print(f"wrote {RESULT_PATH}")
     # Acceptance: every shipped record made it in (the racing watermarks
     # really were harmless), the service drained the whole grid, estimated
@@ -175,3 +204,105 @@ def test_live_serving_throughput_and_latency(benchmark):
         f"ingest throughput {throughput:.0f} records/s below the "
         f"{MIN_RECORDS_PER_SECOND:.0f}/s floor"
     )
+
+
+def test_steady_state_compaction_memory_and_latency(benchmark):
+    """Per-window latency and memory of a long compacting stream.
+
+    Drives the same ingest -> watermark -> window -> compact cycle a
+    deployed service runs, with a retention horizon set and estimation
+    stubbed out (``min_observed_tasks`` is unreachable) so the numbers
+    isolate the stream machinery — assembly, reveal, compaction — which
+    is exactly where the old lazy-rebuild path degraded with history.
+    """
+    n_tasks = 20_000 if not full_scale() else 120_000
+    batch, dt, retain = 1000, 0.01, 50.0
+    window = batch * dt  # one estimator window per ingest batch
+    n_batches = n_tasks // batch
+
+    def make_batch(start_task: int, t0: float) -> list[dict]:
+        records = []
+        for i in range(batch):
+            task = start_task + i
+            entry = t0 + i * dt
+            records.append(
+                {"task": task, "seq": 0, "queue": 0, "counter": task}
+            )
+            records.append(
+                {"task": task, "seq": 1, "queue": 1, "counter": task,
+                 "arrival": entry}
+            )
+            records.append(
+                {"task": task, "seq": 2, "queue": 2, "counter": task,
+                 "arrival": entry + 0.4, "departure": entry + 0.9,
+                 "last": True}
+            )
+        return records
+
+    def run():
+        stream = LiveTraceStream(n_queues=3, retain=retain)
+        estimator = StreamingEstimator(
+            stream, window=window, stem_iterations=1, random_state=3,
+            min_observed_tasks=10**9,
+        )
+        window_seconds = []
+        t = 0.0
+        for b in range(n_batches):
+            records = make_batch(b * batch, t)
+            start = time.perf_counter()
+            stream.ingest(records)
+            t += window
+            stream.advance_watermark(t)
+            while (estimator.n_windows_done + 1) * estimator.step <= t:
+                estimator.process_window(
+                    estimator.n_windows_done * estimator.step
+                )
+            stream.trace  # the per-window assembly access
+            window_seconds.append(time.perf_counter() - start)
+        snapshot_bytes = len(pickle.dumps(stream.snapshot_state()))
+        return window_seconds, stream.memory_stats(), snapshot_bytes
+
+    window_seconds, stats, snapshot_bytes = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    warm = window_seconds[max(2, n_batches // 10): max(3, n_batches // 4)]
+    tail = window_seconds[-max(1, n_batches // 4):]
+    ratio = float(np.median(tail)) / float(np.median(warm))
+    horizon_tasks = retain / dt + batch
+    rows = [
+        ("records streamed", f"{3 * n_batches * batch}"),
+        ("windows processed", f"{n_batches}"),
+        ("retention horizon", f"{retain:.0f} clock (~{horizon_tasks:.0f} tasks)"),
+        ("per-window latency (warm median)", f"{np.median(warm) * 1e3:.2f} ms"),
+        ("per-window latency (tail median)", f"{np.median(tail) * 1e3:.2f} ms"),
+        ("tail / warm ratio", f"{ratio:.2f}"),
+        ("retained tasks at end", f"{stats['retained_tasks']}"),
+        ("retained events at end", f"{stats['retained_events']}"),
+        ("compacted tasks", f"{stats['compacted_tasks']}"),
+        ("checkpoint snapshot size", f"{snapshot_bytes / 1024:.0f} KiB"),
+    ]
+    print(f"\n=== Live serving: steady-state compaction "
+          f"({n_batches} windows, retain={retain:.0f}) ===")
+    print(render_table(["metric", "value"], rows))
+    merge_result("steady_state_compaction", {
+        "n_records": int(3 * n_batches * batch),
+        "n_windows": int(n_batches),
+        "retain": retain,
+        "window_latency_warm_median_seconds": float(np.median(warm)),
+        "window_latency_tail_median_seconds": float(np.median(tail)),
+        "window_latency_max_seconds": float(np.max(window_seconds)),
+        "tail_to_warm_ratio": ratio,
+        "retained_tasks": int(stats["retained_tasks"]),
+        "retained_events": int(stats["retained_events"]),
+        "compacted_tasks": int(stats["compacted_tasks"]),
+        "snapshot_bytes": int(snapshot_bytes),
+    })
+    print(f"wrote {RESULT_PATH}")
+    # Acceptance: no O(history) trend in the per-window cycle, and every
+    # container plateaued at the horizon size instead of the stream age.
+    assert ratio < MAX_TAIL_TO_WARM_RATIO, (
+        f"steady-state tail is {ratio:.1f}x the warm median — the "
+        "per-window cycle is growing with stream age again"
+    )
+    assert stats["retained_tasks"] <= 2 * horizon_tasks
+    assert stats["compacted_tasks"] >= n_batches * batch - 2 * horizon_tasks

@@ -225,6 +225,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="buffered-record bound before ingestion backpressure "
         "(default: 100000)",
     )
+    serve.add_argument(
+        "--retain", type=float, default=None,
+        help="retention horizon in trace clock units: finished tasks older "
+        "than watermark minus this (and out of reach of every future "
+        "window) are folded into summary statistics and evicted, bounding "
+        "memory and checkpoint size (default: keep full history)",
+    )
     serve.add_argument("--checkpoint", default=None,
                        help="snapshot service state to this path")
     serve.add_argument("--checkpoint-every", type=int, default=None,
@@ -472,6 +479,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         frozen = (
             "queues", "window", "step", "iterations", "min_observed",
             "seed", "shards", "shard_workers", "lateness", "max_pending",
+            "retain",
         )
         rejected = [
             "--" + name.replace("_", "-")
@@ -519,6 +527,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_pending=(
                 100_000 if args.max_pending is None else args.max_pending
             ),
+            retain=args.retain,
         )
         estimator = StreamingEstimator(
             stream,

@@ -34,7 +34,20 @@ def _kept_rows(events: EventSet, task_ids: Iterable[int]) -> np.ndarray:
     wanted = sorted(set(int(t) for t in task_ids))
     if not wanted:
         raise InvalidEventSetError("cannot build an empty task subset")
-    kept = np.concatenate([events.events_of_task(t) for t in wanted])
+    rows = []
+    missing = []
+    for t in wanted:
+        try:
+            rows.append(events.events_of_task(t))
+        except InvalidEventSetError:
+            missing.append(t)
+    if missing:
+        raise InvalidEventSetError(
+            f"task ids {missing} are not in this event set; if the set is "
+            "a stream's retained tail, they were compacted past the "
+            "retention horizon"
+        )
+    kept = np.concatenate(rows)
     kept.sort()
     return kept
 

@@ -29,13 +29,20 @@ replay/windowed path at the same seed, for any shard-worker count —
 bitwise reproduction of frozen windows.
 """
 
-from repro.live.records import assemble_trace, replay_batches, trace_to_records
+from repro.live.records import (
+    IncrementalAssembler,
+    assemble_trace,
+    replay_batches,
+    trace_to_records,
+)
 from repro.live.server import DEFAULT_AUTHKEY, LiveClient, LiveServer
 from repro.live.service import EstimatorService, estimate_to_record
-from repro.live.stream import LiveTraceStream
+from repro.live.stream import CompactionSummary, LiveTraceStream
 
 __all__ = [
     "LiveTraceStream",
+    "CompactionSummary",
+    "IncrementalAssembler",
     "LiveServer",
     "LiveClient",
     "EstimatorService",

@@ -27,11 +27,14 @@ makes live window estimates bitwise comparable to the replay path.
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from repro.errors import IngestError
 from repro.events import EventSet
 from repro.events.serialization import measurement_record
+from repro.events.subset import SubsetIndex
 from repro.observation import ObservedTrace
 
 
@@ -207,3 +210,237 @@ def assemble_trace(
         arrival_observed=np.asarray(arr_obs, dtype=bool),
         departure_observed=np.asarray(dep_obs, dtype=bool),
     )
+
+
+class IncrementalAssembler:
+    """Append-in-place trace assembly: O(task) per finalized task.
+
+    :func:`assemble_trace` re-walks every record of every task on each
+    call — O(total history) per trace access, which is exactly the
+    degradation an always-on stream cannot afford.  This class keeps the
+    assembled *columns* (task/seq/queue/state, times, observation masks)
+    in growable buffers and each queue's frozen order as a counter-sorted
+    splice list, so finalizing one task appends its rows and bisects its
+    events into the queue orders — no revisiting of history.  Building
+    the :class:`~repro.observation.ObservedTrace` (plus its
+    :class:`~repro.events.subset.SubsetIndex`) from the columns is cached
+    per version, so a window access after *k* appends costs one
+    O(retained) array materialization, never a Python re-walk.
+
+    Equality contract (pinned by the conformance suite's equivalence
+    oracle): the built trace is **bitwise identical** to
+    ``assemble_trace(task_records)`` over the same tasks.  The fast path
+    requires task ids to arrive in ascending order — true whenever entry
+    counters are monotone in task id, i.e. for every recorded or
+    honestly instrumented source.  :meth:`append` refuses an
+    out-of-order id (returns ``False``, mutating nothing) and the caller
+    falls back to the sort-based rebuild.
+
+    :meth:`evict` drops the oldest tasks' rows (prefix compaction):
+    buffers shift once per call, per-queue splice lists are filtered, and
+    the retained columns stay bitwise what ``assemble_trace`` over the
+    retained records would produce.
+    """
+
+    _MIN_CAPACITY = 1024
+    _COLUMNS = (
+        "_task", "_seq", "_queue", "_state",
+        "_arrival", "_departure", "_arr_obs", "_dep_obs",
+    )
+
+    def __init__(self, n_queues: int) -> None:
+        if n_queues < 2:
+            raise IngestError("n_queues must include queue 0 plus real queues")
+        self.n_queues = int(n_queues)
+        self._n = 0
+        self._task_sizes: list[int] = []  # events per task, append order
+        self._last_task: int | None = None
+        cap = self._MIN_CAPACITY
+        self._task = np.empty(cap, dtype=np.int64)
+        self._seq = np.empty(cap, dtype=np.int64)
+        self._queue = np.empty(cap, dtype=np.int64)
+        self._state = np.empty(cap, dtype=np.int64)
+        self._arrival = np.empty(cap, dtype=float)
+        self._departure = np.empty(cap, dtype=float)
+        self._arr_obs = np.empty(cap, dtype=bool)
+        self._dep_obs = np.empty(cap, dtype=bool)
+        # Per-queue frozen order as parallel (sorted counters, row ids).
+        self._q_counters: list[list[int]] = [[] for _ in range(self.n_queues)]
+        self._q_rows: list[list[int]] = [[] for _ in range(self.n_queues)]
+        #: Bumped on every append/evict; the build cache keys on it.
+        self.version = 0
+        self._built_version = -1
+        self._trace: ObservedTrace | None = None
+        self._index: SubsetIndex | None = None
+
+    @property
+    def n_events(self) -> int:
+        """Rows currently held (the retained history)."""
+        return self._n
+
+    @property
+    def n_tasks(self) -> int:
+        """Tasks currently held."""
+        return len(self._task_sizes)
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._task.size:
+            return
+        cap = max(need, 2 * self._task.size)
+        for name in self._COLUMNS:
+            old = getattr(self, name)
+            buf = np.empty(cap, dtype=old.dtype)
+            buf[: self._n] = old[: self._n]
+            setattr(self, name, buf)
+
+    def append(self, records: list[dict]) -> bool:
+        """Append one complete task's seq-ordered records; O(task).
+
+        Returns ``False`` — leaving the assembler untouched — when the
+        task id does not exceed every id already appended: the columns
+        are kept in ascending task-id order by construction (what makes
+        them bitwise :func:`assemble_trace`'s sorted output), so an
+        out-of-order id means the caller must fall back to the sort-based
+        rebuild path.
+
+        Raises
+        ------
+        IngestError
+            If two events claim the same counter at one queue (same
+            corrupt-counter condition :func:`assemble_trace` rejects).
+            Checked before any mutation, so a raise leaves the assembler
+            consistent.
+        """
+        task = int(records[0]["task"])
+        if self._last_task is not None and task <= self._last_task:
+            return False
+        k = len(records)
+        # Validate the counter splices first: nothing is mutated unless
+        # the whole task can go in.
+        fresh: set[tuple[int, int]] = set()
+        for r in records:
+            q = int(r["queue"])
+            c = int(r["counter"])
+            counters = self._q_counters[q]
+            pos = bisect.bisect_left(counters, c)
+            if (pos < len(counters) and counters[pos] == c) or (q, c) in fresh:
+                raise IngestError(
+                    f"conflicting event counters at queue {q}: two events "
+                    "claim the same arrival position"
+                )
+            fresh.add((q, c))
+        self._reserve(k)
+        base = self._n
+        for i, r in enumerate(records):
+            row = base + i
+            self._task[row] = task
+            self._seq[row] = r["seq"]
+            self._queue[row] = r["queue"]
+            self._state[row] = r["state"]
+            if r["seq"] == 0:
+                self._arrival[row] = 0.0
+                self._arr_obs[row] = True
+            elif r["arrival"] is None:
+                self._arrival[row] = np.nan
+                self._arr_obs[row] = False
+            else:
+                self._arrival[row] = r["arrival"]
+                self._arr_obs[row] = True
+            if i + 1 < k:
+                # Inner departure: the a_e = d_{pi(e)} identity.
+                nxt = records[i + 1]
+                self._departure[row] = (
+                    np.nan if nxt["arrival"] is None else nxt["arrival"]
+                )
+                self._dep_obs[row] = False
+            else:
+                self._departure[row] = (
+                    np.nan if r["departure"] is None else r["departure"]
+                )
+                self._dep_obs[row] = r["departure"] is not None
+            q = int(r["queue"])
+            c = int(r["counter"])
+            pos = bisect.bisect_left(self._q_counters[q], c)
+            self._q_counters[q].insert(pos, c)
+            self._q_rows[q].insert(pos, row)
+        self._n += k
+        self._task_sizes.append(k)
+        self._last_task = task
+        self.version += 1
+        return True
+
+    def prefix_events(self, n_tasks: int) -> int:
+        """Rows occupied by the oldest *n_tasks* tasks."""
+        return sum(self._task_sizes[:n_tasks])
+
+    def evict(self, n_tasks: int) -> int:
+        """Drop the oldest *n_tasks* tasks' rows; returns rows removed.
+
+        The oldest tasks occupy the column prefix (ids ascend), so
+        eviction is one buffer shift plus a filter of each queue's splice
+        lists — O(retained), paid once per compaction, not per access.
+        """
+        if n_tasks <= 0:
+            return 0
+        if n_tasks > len(self._task_sizes):
+            raise IngestError(
+                f"cannot evict {n_tasks} tasks; only "
+                f"{len(self._task_sizes)} are held"
+            )
+        m = self.prefix_events(n_tasks)
+        keep = self._n - m
+        for name in self._COLUMNS:
+            old = getattr(self, name)
+            buf = np.empty(max(keep, self._MIN_CAPACITY), dtype=old.dtype)
+            buf[:keep] = old[m: self._n]
+            setattr(self, name, buf)
+        self._n = keep
+        del self._task_sizes[:n_tasks]
+        for q in range(self.n_queues):
+            pairs = [
+                (c, r - m)
+                for c, r in zip(self._q_counters[q], self._q_rows[q])
+                if r >= m
+            ]
+            self._q_counters[q] = [c for c, _ in pairs]
+            self._q_rows[q] = [r for _, r in pairs]
+        self.version += 1
+        self._trace = None
+        self._index = None
+        return m
+
+    def build(self) -> tuple[ObservedTrace, SubsetIndex]:
+        """The trace (plus its subset index) over the retained columns.
+
+        Cached per :attr:`version`; repeated window accesses between
+        appends are free.  Buffer prefixes are handed to the
+        :class:`~repro.events.EventSet` as views — safe because rows
+        below the current length are never rewritten (growth reallocates,
+        eviction rebuilds) — while times and masks are copied by the
+        constructors, so inference can never corrupt the columns.
+        """
+        if self._n == 0:
+            raise IngestError("no complete tasks to assemble a trace from")
+        if self._built_version != self.version or self._trace is None:
+            n = self._n
+            skeleton = EventSet(
+                task=self._task[:n],
+                seq=self._seq[:n],
+                queue=self._queue[:n],
+                arrival=self._arrival[:n],
+                departure=self._departure[:n],
+                n_queues=self.n_queues,
+                state=self._state[:n],
+                queue_order=[
+                    np.asarray(rows, dtype=np.int64) for rows in self._q_rows
+                ],
+            )
+            self._trace = ObservedTrace(
+                skeleton=skeleton,
+                arrival_observed=self._arr_obs[:n],
+                departure_observed=self._dep_obs[:n],
+            )
+            self._index = SubsetIndex(skeleton)
+            self._built_version = self.version
+        return self._trace, self._index

@@ -23,7 +23,12 @@ the estimator's seed/bookkeeping state, and the published estimates.
 service re-reveals from the record log, keeps every pre-crash estimate,
 and processes the remaining windows bitwise as the uninterrupted run
 would have — an ingestion client only needs to replay the tail recorded
-after the snapshot (duplicates are ignored by the stream).
+after the snapshot (duplicates are ignored by the stream).  Snapshot
+*capture* happens under the window lock but serialization and disk I/O
+run on a background writer, so a slow checkpoint never blocks window
+publishing; with a stream retention horizon (``LiveTraceStream(retain=
+...)``) the record log in the snapshot is the retained tail only, so
+checkpoint size is bounded by the horizon, not stream age.
 """
 
 from __future__ import annotations
@@ -117,12 +122,26 @@ class EstimatorService:
         self.published_at: list[float] = []
         self._anomalies = []
         self._windows_since_checkpoint = 0
-        # Serializes window processing against snapshotting: a snapshot
-        # taken mid-window could capture a spawned-but-uncounted seed
-        # child, silently breaking the bitwise-restore guarantee; holding
-        # this lock for the whole snapshot+write also keeps two
-        # checkpoint writers off the same temp file.
+        # Serializes window processing against snapshot *capture*: a
+        # snapshot taken mid-window could capture a spawned-but-uncounted
+        # seed child, silently breaking the bitwise-restore guarantee.
+        # Serialization and disk I/O happen off this lock (see
+        # _write_snapshot), so a slow checkpoint write never stalls
+        # window publishing.
         self._window_lock = threading.Lock()
+        # Serializes checkpoint writers on the temp file and orders their
+        # sequence numbers, so a stale snapshot never overwrites a newer
+        # one on disk.
+        self._ckpt_io_lock = threading.Lock()
+        self._ckpt_seq = 0
+        self._ckpt_written = 0
+        self._ckpt_pending: tuple[int, dict] | None = None
+        self._ckpt_cond = threading.Condition()
+        self._ckpt_stop = threading.Event()
+        self._ckpt_thread: threading.Thread | None = None
+        self._ckpt_error: str | None = None
+        #: Size in bytes of the last snapshot written (None before one).
+        self.last_checkpoint_bytes: int | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._status = "idle"
@@ -151,6 +170,12 @@ class EstimatorService:
         thread = self._thread
         if thread is not None:
             thread.join(timeout)
+        self._ckpt_stop.set()
+        with self._ckpt_cond:
+            self._ckpt_cond.notify_all()
+        writer = self._ckpt_thread
+        if writer is not None:
+            writer.join(timeout)
         with self._lock:
             if self._status == "serving":
                 self._status = "stopped"
@@ -253,7 +278,9 @@ class EstimatorService:
             self._windows_since_checkpoint += 1
             due = self._windows_since_checkpoint >= self.checkpoint_every
         if due:
-            self._checkpoint_now()
+            # Capture now, write in the background: publishing must not
+            # wait on checkpoint I/O.
+            self._checkpoint_now(wait=False)
 
     # ------------------------------------------------------------------
     # Query API (thread-safe; what the ingestion server exposes).
@@ -262,10 +289,17 @@ class EstimatorService:
     def estimates(self, since: int = 0) -> list[dict]:
         """Published window estimates from index *since* on, as records
         with their anomaly flags attached."""
+        since = int(since)
+        if since < 0:
+            # A negative index would silently slice the tail while the
+            # records still claim absolute window indices — reject it.
+            raise IngestError(
+                f"since must be a nonnegative window index, got {since}"
+            )
         with self._lock:
             flagged = {(r.window_index, r.queue) for r in self._anomalies}
             out = []
-            for i, w in enumerate(self._published[int(since):], start=int(since)):
+            for i, w in enumerate(self._published[since:], start=since):
                 record = estimate_to_record(w, i)
                 record["anomalous_queues"] = sorted(
                     q for (idx, q) in flagged if idx == i
@@ -309,6 +343,8 @@ class EstimatorService:
             "anomalies": n_anomalies,
             "horizon": float(stream.horizon),
             "checkpointing": self.checkpoint_path is not None,
+            "checkpoint_bytes": self.last_checkpoint_bytes,
+            "checkpoint_error": self._ckpt_error,
         }
         if isinstance(stream, LiveTraceStream):
             record.update(
@@ -321,6 +357,8 @@ class EstimatorService:
                 n_late=stream.n_late,
                 n_stragglers=stream.n_stragglers,
                 n_dropped_tasks=stream.n_dropped_tasks,
+                n_retained_tasks=stream.n_retained_tasks,
+                n_compacted_tasks=stream.n_compacted_tasks,
             )
         return record
 
@@ -348,11 +386,9 @@ class EstimatorService:
     # Checkpoint / restore.
     # ------------------------------------------------------------------
 
-    def _checkpoint_now(self) -> None:
-        if self.checkpoint_path is None:
-            return
-        if not isinstance(self.stream, LiveTraceStream):
-            return
+    def _build_snapshot(self) -> tuple[int, dict]:
+        """Capture service state under the locks — no serialization, no
+        I/O — and stamp it with a monotone sequence number."""
         with self._window_lock:  # never snapshot a half-processed window
             with self._lock:
                 snapshot = {
@@ -367,13 +403,73 @@ class EstimatorService:
                     },
                 }
                 self._windows_since_checkpoint = 0
+                self._ckpt_seq += 1
+                return self._ckpt_seq, snapshot
+
+    def _write_snapshot(self, seq: int, snapshot: dict) -> None:
+        """Serialize and atomically replace the checkpoint file.
+
+        Runs off the window/publish locks, so window processing proceeds
+        while the snapshot is on its way to disk.  Stale snapshots (a
+        newer sequence already written) are dropped instead of clobbering
+        fresher state.
+        """
+        with self._ckpt_io_lock:
+            if seq <= self._ckpt_written:
+                return
+            payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
             tmp = f"{self.checkpoint_path}.tmp"
             with open(tmp, "wb") as fh:
-                pickle.dump(snapshot, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
             os.replace(tmp, self.checkpoint_path)
+            self._ckpt_written = seq
+            self.last_checkpoint_bytes = len(payload)
+
+    def _checkpoint_now(self, wait: bool = True) -> None:
+        if self.checkpoint_path is None:
+            return
+        if not isinstance(self.stream, LiveTraceStream):
+            return
+        seq, snapshot = self._build_snapshot()
+        if wait:
+            self._write_snapshot(seq, snapshot)
+            return
+        with self._ckpt_cond:
+            self._ckpt_pending = (seq, snapshot)  # newest snapshot wins
+            self._ensure_ckpt_writer()
+            self._ckpt_cond.notify_all()
+
+    def _ensure_ckpt_writer(self) -> None:
+        if self._ckpt_thread is not None and self._ckpt_thread.is_alive():
+            return
+        self._ckpt_thread = threading.Thread(
+            target=self._ckpt_loop,
+            name="repro-estimator-checkpoint",
+            daemon=True,
+        )
+        self._ckpt_thread.start()
+
+    def _ckpt_loop(self) -> None:
+        while True:
+            with self._ckpt_cond:
+                while (
+                    self._ckpt_pending is None
+                    and not self._ckpt_stop.is_set()
+                ):
+                    self._ckpt_cond.wait(0.25)
+                pending, self._ckpt_pending = self._ckpt_pending, None
+            if pending is None:  # stop requested and the queue is drained
+                return
+            try:
+                self._write_snapshot(*pending)
+            except Exception as exc:  # noqa: BLE001 — surfaced via health()
+                with self._lock:
+                    self._ckpt_error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
 
     def checkpoint(self) -> None:
-        """Force a snapshot now (also runs on stop and on finish)."""
+        """Force a synchronous snapshot now (also runs on stop/finish)."""
         self._checkpoint_now()
 
     @classmethod

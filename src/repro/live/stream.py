@@ -28,6 +28,20 @@ unassembled; ingestion beyond that raises
 :class:`~repro.errors.IngestError` so a fast producer blocks/retries
 instead of growing the buffer without bound.
 
+**Incremental assembly + prefix compaction.**  The assembled trace is
+maintained by an :class:`~repro.live.records.IncrementalAssembler`:
+finalizing a task appends its columns and splices its events into the
+per-queue orders in O(task), and a window access materializes the trace
+from the retained columns — never a Python re-walk of history.  With a
+``retain`` horizon set, :meth:`compact` folds tasks that are polled and
+older than every reachable window into a :class:`CompactionSummary`
+(per-queue event counts and service-time sufficient statistics) and
+evicts their records, so RSS, per-window trace cost, and the checkpoint
+record log are all bounded by the retention horizon instead of growing
+with stream age.  Re-delivered records of compacted tasks count as
+duplicates (task ids are monotone on the compaction path), so
+at-least-once clients stay safe.
+
 Equivalence contract (pinned by ``tests/live/test_stream.py`` and the
 acceptance suite): ingesting a recorded task-id-major trace in order,
 with no stragglers, and sealing yields a stream whose reveals, horizon,
@@ -52,15 +66,74 @@ source.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import IngestError, InvalidEventSetError
 from repro.events.serialization import validate_measurement_record
 from repro.events.subset import SubsetIndex, subset_trace
-from repro.live.records import assemble_trace, record_times
+from repro.live.records import IncrementalAssembler, assemble_trace, record_times
 from repro.observation import ObservedTrace
 from repro.online.streaming import TraceStream
+
+
+@dataclass
+class CompactionSummary:
+    """What compaction keeps of the tasks it folds away.
+
+    Enough to answer the monitoring questions the raw records answered —
+    how much traffic each queue carried and its measured service-time
+    moments — without the records themselves.  Sufficient statistics are
+    over *measured* services only (``departure - max(arrival, d_rho)``
+    where all inputs were observed); censored positions contribute to
+    the event counts but not the moments.  Stream-level straggler /
+    duplicate / late tallies are monotone counters on the stream itself
+    and survive compaction untouched.
+    """
+
+    n_queues: int
+    n_tasks: int = 0
+    n_events: int = 0
+    first_entry: float = float("inf")
+    last_entry: float = -float("inf")
+    events_per_queue: list[int] = field(default_factory=list)
+    observed_services_per_queue: list[int] = field(default_factory=list)
+    service_time_sum: list[float] = field(default_factory=list)
+    service_time_sumsq: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "events_per_queue", "observed_services_per_queue",
+            "service_time_sum", "service_time_sumsq",
+        ):
+            if not getattr(self, name):
+                zero = 0 if "events" in name or "observed" in name else 0.0
+                setattr(self, name, [zero] * self.n_queues)
+
+    def mean_service(self, q: int) -> float:
+        """Measured mean service time at queue *q* over compacted tasks."""
+        n = self.observed_services_per_queue[q]
+        return float("nan") if n == 0 else self.service_time_sum[q] / n
+
+    def to_dict(self) -> dict:
+        return {
+            "n_queues": self.n_queues,
+            "n_tasks": self.n_tasks,
+            "n_events": self.n_events,
+            "first_entry": self.first_entry,
+            "last_entry": self.last_entry,
+            "events_per_queue": list(self.events_per_queue),
+            "observed_services_per_queue": list(
+                self.observed_services_per_queue
+            ),
+            "service_time_sum": list(self.service_time_sum),
+            "service_time_sumsq": list(self.service_time_sumsq),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "CompactionSummary":
+        return cls(**state)
 
 
 class LiveTraceStream(TraceStream):
@@ -78,6 +151,14 @@ class LiveTraceStream(TraceStream):
     max_pending:
         Bound on buffered (not yet assembled) records — the backpressure
         threshold.
+    retain:
+        History retention horizon: how far behind the watermark task
+        records are kept once polled.  ``None`` (default) keeps
+        everything — the sealed-batch behavior.  With a value set,
+        :meth:`compact` folds tasks whose entry is older than both
+        ``watermark - retain`` and the caller's reachability bound into
+        a :class:`CompactionSummary` and evicts their records, bounding
+        memory and checkpoint size for an always-on stream.
     """
 
     def __init__(
@@ -85,6 +166,7 @@ class LiveTraceStream(TraceStream):
         n_queues: int,
         lateness: float = 0.0,
         max_pending: int = 100_000,
+        retain: float | None = None,
     ) -> None:
         if n_queues < 2:
             raise IngestError("n_queues must include queue 0 plus real queues")
@@ -92,9 +174,12 @@ class LiveTraceStream(TraceStream):
             raise IngestError(f"lateness must be >= 0, got {lateness}")
         if max_pending < 1:
             raise IngestError(f"max_pending must be >= 1, got {max_pending}")
+        if retain is not None and retain < 0.0:
+            raise IngestError(f"retain must be >= 0 or None, got {retain}")
         self.n_queues = int(n_queues)
         self.lateness = float(lateness)
         self.max_pending = int(max_pending)
+        self.retain = None if retain is None else float(retain)
         self._lock = threading.RLock()
         self._progress = threading.Condition(self._lock)
         # Out-of-order buffer: task -> seq -> record, plus the expected
@@ -108,15 +193,32 @@ class LiveTraceStream(TraceStream):
         self._resolved: dict[int, str] = {}
         self._next_slot = 0
         self._final_records: dict[int, list[dict]] = {}  # in finalize order
+        self._final_slots: dict[int, int] = {}  # finalized task -> entry slot
         self._dropped_tasks: set[int] = set()
         # Watermark state.
         self._watermark = -np.inf
         self._sealed = False
-        # Assembled-trace cache, rebuilt lazily on access (`trace` /
-        # `subset`) when the finalized prefix grew — never per batch.
+        # The incremental assembler holds the finalized prefix as
+        # append-in-place columns; building the trace from them is cached
+        # per version inside it.  It is replaced by ``None`` — falling
+        # back to the sort-based `assemble_trace` rebuild forever — the
+        # first time task ids finalize out of ascending order (a source
+        # whose entry counters are not monotone in task id).
+        self._assembler: IncrementalAssembler | None = IncrementalAssembler(
+            self.n_queues
+        )
         self._trace: ObservedTrace | None = None
         self._trace_n_tasks = 0
         self._index: SubsetIndex | None = None
+        # Compaction state: reveal positions folded away so far (one per
+        # evicted task), the highest evicted task id (the duplicate
+        # cutoff for re-deliveries), the entry slots swept, and the
+        # running summary.
+        self._compacted_upto = 0
+        self._compacted_hwm: int | None = None
+        self._compacted_slot_upto = 0
+        self._summary: CompactionSummary | None = None
+        self.n_compacted_events = 0
         # Reveal state.  Entry estimation works on two append-only
         # columns maintained at finalize time — the task sequence in
         # entry order and each task's anchor (its first real arrival,
@@ -125,12 +227,18 @@ class LiveTraceStream(TraceStream):
         # interpolation is the same ``np.interp`` call (same positions,
         # same anchors) `_entry_time_estimates` makes over the assembled
         # trace, so revealed values stay bitwise the replay source's.
+        # Compaction trims the columns' prefix (tracked by the offsets
+        # below); the trim keeps the left interpolation anchor, so
+        # future values stay bitwise the untrimmed ones.
         self._reveal_tasks: list[int] = []
         self._reveal_anchors: list[float] = []
+        self._reveal_offset = 0  # trimmed reveal-column positions
         self._entry_values: np.ndarray | None = None
         self._ready: list[tuple[int, float]] = []
+        self._ready_offset = 0  # trimmed (compacted) ready positions
         self._ready_upto = 0  # entry-prefix positions already revealed
         self._cursor = 0
+        self._horizon = 0.0  # last revealed entry (survives trimming)
         # Telemetry.
         self.n_admitted = 0
         self.n_duplicates = 0
@@ -212,16 +320,40 @@ class LiveTraceStream(TraceStream):
             summary["duplicates"] += 1
             self.n_duplicates += 1
             return
+        if (
+            self._compacted_hwm is not None
+            and task <= self._compacted_hwm
+            and task not in self._buffer
+        ):
+            # At or below the compaction high-water mark this can only be
+            # a re-delivery: task ids are monotone in entry order on the
+            # compaction path, and compaction only ever evicts a fully
+            # finalized prefix — every genuinely new task sits above the
+            # mark.  (Late records of long-dropped tasks whose drop entry
+            # was itself compacted land here too; they are equally dead.)
+            summary["duplicates"] += 1
+            self.n_duplicates += 1
+            return
         times = record_times(record)
         cutoff = self._watermark - self.lateness
         if any(t < cutoff for t in times):
-            # Straggler: too old to ever be admitted — the task can no
-            # longer be completed, so purge everything it buffered.
-            summary["stragglers"] += 1
-            self.n_stragglers += 1
-            self._drop_task(task, summary)
-            return
-        if any(t < self._watermark for t in times):
+            if self._would_complete(task, record):
+                # Assemble-then-check: the record is older than the
+                # cutoff, but it is the task's *final* missing piece — a
+                # fully buffered task one step from assembly must not be
+                # purged at the boundary.  Admit it as late; the task
+                # finalizes in this very batch.
+                summary["late"] += 1
+                self.n_late += 1
+            else:
+                # Straggler: too old to ever be admitted, and the task
+                # stays incomplete — it can no longer be assembled, so
+                # purge everything it buffered.
+                summary["stragglers"] += 1
+                self.n_stragglers += 1
+                self._drop_task(task, summary)
+                return
+        elif any(t < self._watermark for t in times):
             summary["late"] += 1
             self.n_late += 1
         if task not in self._buffer and self._n_buffered >= self.max_pending:
@@ -271,6 +403,26 @@ class LiveTraceStream(TraceStream):
         self._n_buffered += 1
         self.n_admitted += 1
         summary["admitted"] += 1
+
+    def _would_complete(self, task: int, record: dict) -> bool:
+        """Whether admitting *record* completes *task* (every event
+        buffered, event count known) — the straggler purge's
+        assemble-then-check gate."""
+        per = self._buffer.get(task)
+        expected = self._expected.get(task)
+        if record["last"]:
+            claimed = record["seq"] + 1
+            if expected is not None and expected != claimed:
+                return False  # conflicting `last` claims; not completable
+            expected = claimed
+        if expected is None:
+            return False  # event count unknown: cannot be the last piece
+        if per is None:
+            # No buffered siblings: complete only as a single-event task.
+            return expected == 1 and record["seq"] == 0
+        if record["seq"] >= expected or any(s >= expected for s in per):
+            return False  # seq beyond the declared range: malformed
+        return record["seq"] not in per and len(per) + 1 == expected
 
     def _drop_task(self, task: int, summary: dict) -> None:
         """Purge a task that can no longer be assembled."""
@@ -385,22 +537,36 @@ class LiveTraceStream(TraceStream):
             self._expected.pop(task)
             ordered = [records[s] for s in sorted(records)]
             self._final_records[task] = ordered
+            self._final_slots[task] = slot
             self._resolved[slot] = "final"
             self._next_slot += 1
+            if self._assembler is not None and not self._assembler.append(
+                ordered
+            ):
+                # Task ids finalized out of ascending order: permanent
+                # fallback to the sort-based rebuild (and no compaction —
+                # the duplicate cutoff below the high-water mark needs
+                # monotone ids).
+                self._assembler = None
             self._append_reveal_columns(task, ordered)
-            self._trace = None  # prefix grew; rebuild lazily on access
+            self._trace = None  # prefix grew; (re)build lazily on access
 
     def _assembled(self) -> ObservedTrace | None:
-        """The trace over the finalized prefix, rebuilt lazily on access.
+        """The trace over the finalized (retained) prefix.
 
-        Rebuilds happen at most once per prefix growth *and only when a
-        window actually reads the trace* — never per ingest batch — but
-        each rebuild is still O(total history): the replay path's
-        asymptotics per window, paid while the stream grows.  A fully
-        incremental assembler (append columns + splice queue orders in
-        place) is the known next step for unbounded streams; see
-        ROADMAP.
+        Fast path: the :class:`~repro.live.records.IncrementalAssembler`
+        already holds the columns — finalizing a task appended them in
+        O(task) — so this is a cached O(retained) array materialization,
+        bitwise equal to the rebuild below (the conformance suite's
+        equivalence oracle pins it).  Fallback (non-monotone task ids
+        only): the original sort-based `assemble_trace` re-walk, rebuilt
+        at most once per prefix growth.
         """
+        if self._assembler is not None:
+            if self._assembler.n_events == 0:
+                return None
+            self._trace, self._index = self._assembler.build()
+            return self._trace
         if not self._final_records:
             return None
         if self._trace is None or self._trace_n_tasks != len(self._final_records):
@@ -428,31 +594,38 @@ class LiveTraceStream(TraceStream):
 
     def _advance_reveal(self) -> None:
         """Append newly *final* entry estimates to the reveal list."""
-        n = len(self._reveal_tasks)
-        if self._ready_upto >= n:
+        total = self._reveal_offset + len(self._reveal_tasks)
+        if self._ready_upto >= total:
             return
         anchors = np.asarray(self._reveal_anchors, dtype=float)
         known = np.flatnonzero(~np.isnan(anchors))
         if known.size == 0:
             return
-        if self._entry_values is None or self._entry_values.size != n:
+        if self._entry_values is None or self._entry_values.size != anchors.size:
             # The same interpolation `_entry_time_estimates` runs over the
             # assembled trace: positions in entry order, anchored where
             # the first real arrival was observed — bitwise identical.
-            positions = np.arange(n, dtype=float)
+            # After compaction the positions are shifted by the trimmed
+            # prefix; integer-valued positions subtract exactly in
+            # floating point and the trim keeps the left anchor, so the
+            # interpolated values stay bitwise the untrimmed ones.
+            positions = np.arange(anchors.size, dtype=float)
             self._entry_values = np.interp(
                 positions, positions[known], anchors[known]
             )
         if self._sealed:
-            final_upto = n  # clamp semantics are final now
+            final_upto = total  # clamp semantics are final now
         else:
-            final_upto = int(known.max()) + 1
+            final_upto = self._reveal_offset + int(known.max()) + 1
         for pos in range(self._ready_upto, final_upto):
-            entry = float(self._entry_values[pos])
+            entry = float(self._entry_values[pos - self._reveal_offset])
             if not self._sealed and entry > self._watermark:
                 final_upto = pos
                 break
-            self._ready.append((self._reveal_tasks[pos], entry))
+            self._ready.append(
+                (self._reveal_tasks[pos - self._reveal_offset], entry)
+            )
+            self._horizon = entry
         self._ready_upto = max(self._ready_upto, final_upto)
 
     # ------------------------------------------------------------------
@@ -473,24 +646,23 @@ class LiveTraceStream(TraceStream):
     @property
     def horizon(self) -> float:
         with self._lock:
-            if not self._ready:
-                return 0.0
-            return self._ready[-1][1]
+            return self._horizon
 
     @property
     def n_revealed(self) -> int:
-        """Tasks handed out by :meth:`poll` so far."""
+        """Tasks handed out by :meth:`poll` so far (compacted included)."""
         with self._lock:
             return self._cursor
 
     def poll(self, until: float) -> list[tuple[int, float]]:
         with self._lock:
             out: list[tuple[int, float]] = []
+            total = self._ready_offset + len(self._ready)
             while (
-                self._cursor < len(self._ready)
-                and self._ready[self._cursor][1] < until
+                self._cursor < total
+                and self._ready[self._cursor - self._ready_offset][1] < until
             ):
-                out.append(self._ready[self._cursor])
+                out.append(self._ready[self._cursor - self._ready_offset])
                 self._cursor += 1
             return out
 
@@ -499,15 +671,197 @@ class LiveTraceStream(TraceStream):
             trace = self._assembled()
             if trace is None:
                 raise IngestError("no task has been fully ingested yet")
+            if self._compacted_hwm is not None:
+                gone = sorted(
+                    t
+                    for t in {int(t) for t in task_ids}
+                    if t <= self._compacted_hwm and t not in self._final_records
+                )
+                if gone:
+                    raise IngestError(
+                        f"tasks {gone} were compacted past the retention "
+                        f"horizon (retain={self.retain}); windows may only "
+                        "subset tasks inside the retained tail"
+                    )
             return subset_trace(trace, task_ids, index=self._index)
 
     def exhausted(self) -> bool:
         with self._lock:
             return (
                 self._sealed
-                and self._cursor >= len(self._ready)
+                and self._cursor >= self._ready_offset + len(self._ready)
                 and not self._buffer
             )
+
+    # ------------------------------------------------------------------
+    # Prefix compaction.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_compacted_tasks(self) -> int:
+        """Tasks folded into the compaction summary so far."""
+        return self._compacted_upto
+
+    @property
+    def n_retained_tasks(self) -> int:
+        """Finalized tasks whose records are still held."""
+        with self._lock:
+            return len(self._final_records)
+
+    @property
+    def compaction(self) -> CompactionSummary | None:
+        """Aggregate statistics of compacted tasks (None before any)."""
+        with self._lock:
+            return self._summary
+
+    def compact(self, before: float | None = None) -> dict:
+        """Fold away polled tasks no reachable window can touch again.
+
+        A task is evictable when it has been *polled* (the estimator saw
+        it), its entry estimate is older than ``watermark - retain``, and
+        — when *before* is given (the streaming estimator passes its next
+        window start) — older than *before* too.  Evictable tasks form a
+        prefix of the finalize order; their per-queue event counts and
+        measured service-time moments are folded into
+        :attr:`compaction`, their records leave ``_final_records`` (and
+        therefore every future checkpoint), and their rows leave the
+        incremental assembler.  The newest finalized task is always
+        retained so the stream keeps a valid trace.
+
+        No-op without a ``retain`` horizon, and on the non-monotone
+        fallback path (where the re-delivery cutoff would be unsound).
+        Returns ``{"compacted_tasks": k, "compacted_events": m}`` for
+        this call.
+        """
+        with self._lock:
+            out = {"compacted_tasks": 0, "compacted_events": 0}
+            if self.retain is None or self._assembler is None:
+                return out
+            limit = self._watermark - self.retain
+            if before is not None:
+                limit = min(limit, float(before))
+            total_final = self._reveal_offset + len(self._reveal_tasks)
+            # Walk the evictable prefix: polled, older than the limit,
+            # and never the newest finalized task.
+            p = self._compacted_upto
+            stop = min(self._cursor, total_final - 1)
+            while (
+                p < stop and self._ready[p - self._ready_offset][1] < limit
+            ):
+                p += 1
+            k = p - self._compacted_upto
+            if k == 0:
+                return out
+            trace = self._assembled()
+            m = self._assembler.prefix_events(k)
+            self._fold_summary(trace, k, m, p)
+            evicted = [
+                self._reveal_tasks[pos - self._reveal_offset]
+                for pos in range(self._compacted_upto, p)
+            ]
+            for task in evicted:
+                del self._final_records[task]
+                slot = self._final_slots.pop(task)
+                self._slot_task.pop(slot, None)
+                self._resolved.pop(slot, None)
+            self._compacted_hwm = evicted[-1]
+            # Sweep every entry slot below the first retained finalized
+            # task's: each is an evicted task's or a dropped hole no
+            # legitimate record can revisit (re-deliveries die at the
+            # high-water mark above).
+            next_task = self._reveal_tasks[p - self._reveal_offset]
+            slot_upto = self._final_slots[next_task]
+            for slot in range(self._compacted_slot_upto, slot_upto):
+                self._slot_task.pop(slot, None)
+                self._resolved.pop(slot, None)
+            self._compacted_slot_upto = max(self._compacted_slot_upto, slot_upto)
+            hwm = self._compacted_hwm
+            self._dropped_tasks = {t for t in self._dropped_tasks if t > hwm}
+            self._assembler.evict(k)
+            self._trace = None
+            self._index = None
+            self._compacted_upto = p
+            self.n_compacted_events += m
+            # Trim the ready list to the folded prefix (poll never
+            # revisits positions below the cursor, and compaction only
+            # ever folds polled ones).
+            del self._ready[: p - self._ready_offset]
+            self._ready_offset = p
+            # Trim the reveal columns — but never past the last known
+            # anchor at or below the revealed frontier: it is the left
+            # interpolation anchor of every future reveal, and dropping
+            # it would change (break finality of) future entry values.
+            anchors = np.asarray(self._reveal_anchors, dtype=float)
+            known = np.flatnonzero(~np.isnan(anchors)) + self._reveal_offset
+            eligible = known[known <= self._ready_upto]
+            trim_to = min(int(eligible.max()), p) if eligible.size else 0
+            if trim_to > self._reveal_offset:
+                cut = trim_to - self._reveal_offset
+                del self._reveal_tasks[:cut]
+                del self._reveal_anchors[:cut]
+                self._reveal_offset = trim_to
+                self._entry_values = None
+            out = {"compacted_tasks": k, "compacted_events": m}
+            return out
+
+    def _fold_summary(
+        self, trace: ObservedTrace, k: int, m: int, p_end: int
+    ) -> None:
+        """Accumulate the first *m* rows (*k* tasks) into the summary."""
+        sk = trace.skeleton
+        services = sk.service_times()[:m]
+        queues = sk.queue[:m]
+        valid = ~np.isnan(services)
+        counts = np.bincount(queues, minlength=self.n_queues)
+        n_obs = np.bincount(queues[valid], minlength=self.n_queues)
+        s_sum = np.bincount(
+            queues[valid], weights=services[valid], minlength=self.n_queues
+        )
+        s_sq = np.bincount(
+            queues[valid], weights=services[valid] ** 2,
+            minlength=self.n_queues,
+        )
+        if self._summary is None:
+            self._summary = CompactionSummary(n_queues=self.n_queues)
+        s = self._summary
+        s.n_tasks += k
+        s.n_events += m
+        first = self._ready[self._compacted_upto - self._ready_offset][1]
+        last = self._ready[p_end - 1 - self._ready_offset][1]
+        s.first_entry = min(s.first_entry, first)
+        s.last_entry = max(s.last_entry, last)
+        for q in range(self.n_queues):
+            s.events_per_queue[q] += int(counts[q])
+            s.observed_services_per_queue[q] += int(n_obs[q])
+            s.service_time_sum[q] += float(s_sum[q])
+            s.service_time_sumsq[q] += float(s_sq[q])
+
+    def memory_stats(self) -> dict:
+        """Sizes of every growable container (the soak test's RSS proxy).
+
+        With a retention horizon and an advancing watermark each of these
+        is bounded; without one, ``retained_tasks`` / ``retained_events``
+        / ``ready_entries`` grow with the stream — exactly the unbounded
+        history this PR's compaction exists to cut.
+        """
+        with self._lock:
+            retained_events = (
+                self._assembler.n_events
+                if self._assembler is not None
+                else sum(len(v) for v in self._final_records.values())
+            )
+            return {
+                "buffered_records": self._n_buffered,
+                "retained_tasks": len(self._final_records),
+                "retained_events": retained_events,
+                "reveal_positions": len(self._reveal_tasks),
+                "ready_entries": len(self._ready),
+                "slot_entries": len(self._slot_task),
+                "resolved_slots": len(self._resolved),
+                "dropped_tasks": len(self._dropped_tasks),
+                "compacted_tasks": self._compacted_upto,
+                "compacted_events": self.n_compacted_events,
+            }
 
     # ------------------------------------------------------------------
     # Checkpointing.
@@ -519,14 +873,18 @@ class LiveTraceStream(TraceStream):
         Plain picklable containers only.  The assembled trace itself is
         *not* stored — :meth:`from_state` reassembles it from the record
         log deterministically, which is what makes restored window
-        estimates bitwise identical.
+        estimates bitwise identical.  With compaction the record log
+        holds only the retained tail (the compacted prefix ships as its
+        summary plus the trimmed reveal columns), so the snapshot is
+        bounded by the retention horizon instead of stream age.
         """
         with self._lock:
             return {
-                "version": 1,
+                "version": 2,
                 "n_queues": self.n_queues,
                 "lateness": self.lateness,
                 "max_pending": self.max_pending,
+                "retain": self.retain,
                 "watermark": float(self._watermark),
                 "sealed": self._sealed,
                 "buffer": {t: dict(v) for t, v in self._buffer.items()},
@@ -539,6 +897,20 @@ class LiveTraceStream(TraceStream):
                 },
                 "dropped_tasks": sorted(self._dropped_tasks),
                 "n_polled": self._cursor,
+                "reveal_offset": self._reveal_offset,
+                "reveal_tasks": list(self._reveal_tasks),
+                "reveal_anchors": list(self._reveal_anchors),
+                "ready_offset": self._ready_offset,
+                "ready": list(self._ready),
+                "ready_upto": self._ready_upto,
+                "horizon": self._horizon,
+                "compacted_upto": self._compacted_upto,
+                "compacted_hwm": self._compacted_hwm,
+                "compacted_slot_upto": self._compacted_slot_upto,
+                "n_compacted_events": self.n_compacted_events,
+                "compaction_summary": (
+                    None if self._summary is None else self._summary.to_dict()
+                ),
                 "counters": {
                     "n_admitted": self.n_admitted,
                     "n_duplicates": self.n_duplicates,
@@ -552,16 +924,24 @@ class LiveTraceStream(TraceStream):
     def from_state(cls, state: dict) -> "LiveTraceStream":
         """Rebuild a stream from :meth:`snapshot_state` output.
 
-        The reveal list is *recomputed* from the restored record log (the
-        same deterministic path normal ingestion takes), then the poll
-        cursor is moved back to where the snapshot left it — so the next
-        :meth:`poll` hands the estimator exactly the tasks it had not yet
-        consumed.
+        Accepts version 1 (pre-compaction) and version 2 snapshots.  The
+        retained record log replays through the incremental assembler
+        (falling back to the sort-based path exactly when the original
+        did), reveal state is restored verbatim (v2) or recomputed from
+        the record log (v1), and the poll cursor returns to where the
+        snapshot left it — so the next :meth:`poll` hands the estimator
+        exactly the tasks it had not yet consumed.
         """
+        version = state.get("version")
+        if version not in (1, 2):
+            raise IngestError(
+                f"unrecognized stream snapshot version: {version!r}"
+            )
         stream = cls(
             n_queues=state["n_queues"],
             lateness=state["lateness"],
             max_pending=state["max_pending"],
+            retain=state.get("retain"),
         )
         stream._watermark = state["watermark"]
         stream._sealed = state["sealed"]
@@ -580,17 +960,60 @@ class LiveTraceStream(TraceStream):
         stream._dropped_tasks = set(state["dropped_tasks"])
         for name, value in state["counters"].items():
             setattr(stream, name, int(value))
-        # Rebuild the entry-order reveal columns from the record log (its
-        # insertion order *is* the finalize order), then re-reveal — the
-        # same deterministic path normal ingestion takes.
+        # Replay the retained record log through the incremental
+        # assembler (insertion order *is* the finalize order).
         for task, ordered in stream._final_records.items():
-            stream._append_reveal_columns(task, ordered)
-        stream._advance_reveal()
+            if stream._assembler is not None and not stream._assembler.append(
+                ordered
+            ):
+                stream._assembler = None
+        stream._final_slots = {
+            task: slot
+            for slot, task in stream._slot_task.items()
+            if stream._resolved.get(slot) == "final"
+        }
         n_polled = int(state["n_polled"])
-        if n_polled > len(stream._ready):
+        if version == 1:
+            # Pre-compaction snapshot: recompute the reveal columns from
+            # the record log, the deterministic path ingestion takes.
+            for task, ordered in stream._final_records.items():
+                stream._append_reveal_columns(task, ordered)
+            stream._advance_reveal()
+        else:
+            stream._reveal_offset = int(state["reveal_offset"])
+            stream._reveal_tasks = [int(t) for t in state["reveal_tasks"]]
+            stream._reveal_anchors = [
+                float(a) for a in state["reveal_anchors"]
+            ]
+            stream._ready_offset = int(state["ready_offset"])
+            stream._ready = [(int(t), float(e)) for t, e in state["ready"]]
+            stream._ready_upto = int(state["ready_upto"])
+            stream._horizon = float(state["horizon"])
+            stream._compacted_upto = int(state["compacted_upto"])
+            hwm = state["compacted_hwm"]
+            stream._compacted_hwm = None if hwm is None else int(hwm)
+            stream._compacted_slot_upto = int(state["compacted_slot_upto"])
+            stream.n_compacted_events = int(state["n_compacted_events"])
+            summary = state["compaction_summary"]
+            if summary is not None:
+                stream._summary = CompactionSummary.from_dict(summary)
+            # Integrity: every retained (non-compacted) reveal position
+            # must be backed by its task's records.
+            start = stream._compacted_upto - stream._reveal_offset
+            if any(
+                t not in stream._final_records
+                for t in stream._reveal_tasks[start:]
+            ):
+                raise IngestError(
+                    "corrupt snapshot: revealed tasks are missing from the "
+                    "record log"
+                )
+            stream._advance_reveal()
+        if n_polled > stream._ready_offset + len(stream._ready):
             raise IngestError(
                 f"corrupt snapshot: {n_polled} tasks were polled but only "
-                f"{len(stream._ready)} are revealable from the record log"
+                f"{stream._ready_offset + len(stream._ready)} are revealable "
+                "from the record log"
             )
         stream._cursor = n_polled
         return stream

@@ -404,7 +404,27 @@ class StreamingEstimator:
         return part
 
     def process_window(self, t0: float) -> StreamEstimate:
-        """Advance the stream past ``t0 + window`` and estimate the window."""
+        """Advance the stream past ``t0 + window`` and estimate the window.
+
+        After the window is estimated, the stream is asked to compact the
+        prefix no future window can reach (streams without a compaction
+        notion — a replay source — skip this).
+        """
+        estimate = self._process_window(t0)
+        self._compact_stream()
+        return estimate
+
+    def _compact_stream(self) -> None:
+        # Every remaining window starts at ``n_windows_done * step`` or
+        # later, so tasks with entries strictly below that bound are out
+        # of reach for all future subsets; the stream additionally holds
+        # its own retention horizon against the watermark, so this bound
+        # only ever tightens what the stream would allow.
+        compact = getattr(self.stream, "compact", None)
+        if compact is not None:
+            compact(before=self.n_windows_done * self.step)
+
+    def _process_window(self, t0: float) -> StreamEstimate:
         t0 = float(t0)
         t1 = t0 + self.window
         arrived = self.stream.poll(t1)

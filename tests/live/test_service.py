@@ -1,5 +1,6 @@
 """Tests for the estimation supervisor (repro.live.service)."""
 
+import threading
 import time
 
 import numpy as np
@@ -236,3 +237,191 @@ class TestCheckpointRestore:
             make_estimator(stream, horizon, windows=1), poll_interval=0.02
         )
         service.checkpoint()  # no path: a no-op, not an error
+
+
+class TestQueryValidation:
+    def test_estimates_rejects_negative_since(self):
+        trace, horizon = make_trace(n_tasks=80)
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        service = EstimatorService(make_estimator(stream, horizon, windows=1))
+        with pytest.raises(IngestError, match="nonnegative"):
+            service.estimates(since=-1)
+        assert service.estimates(since=0) == []
+
+    def test_estimates_since_keeps_absolute_indices(self):
+        trace, horizon = make_trace(n_tasks=120)
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        service = EstimatorService(
+            make_estimator(stream, horizon, windows=3), poll_interval=0.02
+        )
+        with service.start():
+            stream.ingest(trace_to_records(trace))
+            stream.seal()
+            assert wait_finished(service) == "finished"
+            total = len(service.estimates())
+            tail = service.estimates(since=1)
+        assert total >= 2
+        assert len(tail) == total - 1
+        assert [r["index"] for r in tail] == list(range(1, total))
+
+
+class TestCheckpointOffloading:
+    """The checkpoint bugfix: snapshot capture happens under the window
+    lock, but serialization + disk I/O must not stall publishing."""
+
+    def test_publishing_proceeds_during_a_slow_checkpoint_write(self, tmp_path):
+        trace, horizon = make_trace()
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        stream.ingest(trace_to_records(trace))
+        stream.seal()
+        path = tmp_path / "slow.ckpt"
+        service = EstimatorService(
+            make_estimator(stream, horizon, windows=5),
+            checkpoint_path=str(path), poll_interval=0.01,
+        )
+        gate = threading.Event()
+        original = service._write_snapshot
+
+        def slow_write(seq, snapshot):
+            gate.wait(60.0)
+            original(seq, snapshot)
+
+        service._write_snapshot = slow_write
+        try:
+            with service.start():
+                # With checkpoint_every=1 the writer blocks on the first
+                # window's snapshot; later windows must keep publishing.
+                deadline = time.time() + 60.0
+                while time.time() < deadline and len(service.windows()) < 3:
+                    time.sleep(0.01)
+                published_while_blocked = len(service.windows())
+                gate.set()
+                assert wait_finished(service) == "finished"
+        finally:
+            gate.set()
+        assert published_while_blocked >= 3
+        assert path.exists()  # the final (released) snapshot landed
+
+    def test_stale_snapshots_never_clobber_newer_ones(self, tmp_path):
+        trace, horizon = make_trace(n_tasks=80)
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        stream.ingest(trace_to_records(trace))
+        stream.seal()
+        path = tmp_path / "ordered.ckpt"
+        service = EstimatorService(
+            make_estimator(stream, horizon, windows=1),
+            checkpoint_path=str(path),
+        )
+        old_seq, old_snap = service._build_snapshot()
+        new_seq, new_snap = service._build_snapshot()
+        service._write_snapshot(new_seq, new_snap)
+        written = path.read_bytes()
+        service._write_snapshot(old_seq, old_snap)  # stale: dropped
+        assert path.read_bytes() == written
+        assert service.last_checkpoint_bytes == len(written)
+
+    def test_background_write_failures_surface_in_health(self, tmp_path):
+        trace, horizon = make_trace(n_tasks=80)
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        stream.ingest(trace_to_records(trace))
+        stream.seal()
+        service = EstimatorService(
+            make_estimator(stream, horizon, windows=1),
+            checkpoint_path=str(tmp_path / "boom.ckpt"),
+        )
+
+        def boom(seq, snapshot):
+            raise OSError("disk full")
+
+        service._write_snapshot = boom
+        assert service.health()["checkpoint_error"] is None
+        service._checkpoint_now(wait=False)
+        deadline = time.time() + 10.0
+        while (
+            time.time() < deadline
+            and service.health()["checkpoint_error"] is None
+        ):
+            time.sleep(0.01)
+        assert "disk full" in service.health()["checkpoint_error"]
+        service.stop()
+
+
+class TestRetentionBoundsCheckpoints:
+    def test_retention_bounds_checkpoint_size(self, tmp_path):
+        """With a retain horizon the snapshot's record log is the tail
+        the estimator can still reach, so the final checkpoint of a long
+        stream is a fraction of the full-history one."""
+        trace, horizon = make_trace(n_tasks=500)
+
+        def run(retain, name):
+            stream = LiveTraceStream(
+                n_queues=trace.skeleton.n_queues, retain=retain
+            )
+            stream.ingest(trace_to_records(trace))
+            stream.seal()
+            # A huge min_observed skips STEM per window: this test is
+            # about checkpoint size, not estimation.
+            service = EstimatorService(
+                make_estimator(
+                    stream, horizon, windows=10,
+                    min_observed_tasks=10**9,
+                ),
+                checkpoint_path=str(tmp_path / name), poll_interval=0.01,
+            )
+            with service.start():
+                assert wait_finished(service) == "finished"
+            return service
+
+        plain = run(None, "plain.ckpt")
+        bounded = run(horizon / 10, "bounded.ckpt")
+        assert bounded.stream.n_compacted_tasks > 0
+        assert bounded.last_checkpoint_bytes < plain.last_checkpoint_bytes / 2
+        health = bounded.health()
+        assert health["checkpoint_bytes"] == bounded.last_checkpoint_bytes
+        assert health["n_compacted_tasks"] == bounded.stream.n_compacted_tasks
+
+    def test_restore_continues_a_compacted_service_bitwise(self, tmp_path):
+        """Checkpoint -> restore across a compaction boundary: the
+        resumed tail matches the uninterrupted compacting run bitwise."""
+        trace, horizon = make_trace()
+        batches = replay_batches(trace, batch_tasks=8)
+        retain = horizon / 4
+
+        def fresh_stream():
+            return LiveTraceStream(
+                n_queues=trace.skeleton.n_queues, retain=retain
+            )
+
+        ref_stream = fresh_stream()
+        ref_stream.ingest(trace_to_records(trace))
+        ref_stream.seal()
+        ref = make_estimator(ref_stream, horizon).run()
+        assert sum(w.ok for w in ref) >= 3
+        ckpt = str(tmp_path / "compacted.ckpt")
+        stream1 = fresh_stream()
+        service1 = EstimatorService(
+            make_estimator(stream1, horizon),
+            checkpoint_path=ckpt, poll_interval=0.02,
+        )
+        cut = int(len(batches) * 0.6)
+        with service1.start():
+            for watermark, batch in batches[:cut]:
+                stream1.advance_watermark(watermark)
+                stream1.ingest(batch)
+            deadline = time.time() + 60.0
+            while time.time() < deadline and len(service1.windows()) < 2:
+                time.sleep(0.02)
+        pre_crash = service1.windows()
+        assert len(pre_crash) >= 2
+        service2 = EstimatorService.from_checkpoint(ckpt)
+        stream2 = service2.stream
+        assert stream2.retain == retain
+        with service2.start():
+            for watermark, batch in batches[max(cut - 3, 0):]:
+                stream2.advance_watermark(watermark)
+                stream2.ingest(batch)
+            stream2.seal()
+            assert wait_finished(service2) == "finished"
+            resumed = service2.windows()
+        assert_windows_equal(pre_crash, resumed[: len(pre_crash)])
+        assert_windows_equal(ref, resumed)

@@ -251,6 +251,47 @@ class TestIngestion:
         assert victim not in revealed
         assert stream.n_revealed == len(order) - 1
 
+    def test_fully_buffered_task_is_saved_at_the_straggler_boundary(self):
+        """Regression: the straggler purge must assemble-then-check — a
+        record older than the cutoff that is the task's final missing
+        piece completes a fully buffered task, so dropping the task would
+        lose data the stream already holds in full."""
+        stream = LiveTraceStream(n_queues=3)
+        stream.ingest([
+            {"task": 0, "seq": 0, "queue": 0, "counter": 0},
+            {"task": 0, "seq": 1, "queue": 1, "arrival": 1.0, "counter": 0,
+             "departure": 2.0, "last": True},
+        ])
+        stream.ingest([
+            {"task": 1, "seq": 0, "queue": 0, "counter": 1},
+            {"task": 1, "seq": 1, "queue": 1, "arrival": 3.0, "counter": 1},
+        ])
+        stream.advance_watermark(100.0)  # far past every measured time
+        summary = stream.ingest([
+            {"task": 1, "seq": 2, "queue": 2, "arrival": 4.0, "counter": 0,
+             "departure": 5.0, "last": True},
+        ])
+        assert summary["late"] == 1
+        assert summary["stragglers"] == 0
+        assert summary["dropped_tasks"] == 0
+        stream.seal()
+        assert {t for t, _ in stream.poll(float("inf"))} == {0, 1}
+
+    def test_incomplete_straggler_task_is_still_dropped(self):
+        """The boundary save applies only to completing records: an old
+        record that leaves the task incomplete still purges it."""
+        stream = LiveTraceStream(n_queues=3)
+        stream.ingest([
+            {"task": 0, "seq": 0, "queue": 0, "counter": 0},
+        ])
+        stream.advance_watermark(100.0)
+        summary = stream.ingest([
+            {"task": 0, "seq": 1, "queue": 1, "arrival": 1.0, "counter": 0},
+        ])
+        assert summary["stragglers"] == 1
+        assert summary["dropped_tasks"] == 1
+        assert stream.n_dropped_tasks == 1
+
     def test_lateness_bound_admits_and_counts_late_records(self):
         trace, horizon = make_trace(n_tasks=60)
         stream = LiveTraceStream(
@@ -416,3 +457,194 @@ class TestSnapshot:
         state["resolved"] = {}
         with pytest.raises(IngestError, match="corrupt snapshot"):
             LiveTraceStream.from_state(state)
+
+    def test_unknown_snapshot_versions_are_rejected(self):
+        trace, _ = make_trace(n_tasks=60)
+        state = ingested(trace).snapshot_state()
+        state["version"] = 99
+        with pytest.raises(IngestError, match="snapshot version"):
+            LiveTraceStream.from_state(state)
+
+    def test_version1_snapshots_still_restore(self):
+        """Snapshots written before compaction existed (version 1) must
+        keep restoring: reveal state is recomputed from the record log."""
+        trace, _ = make_trace(n_tasks=60)
+        stream = ingested(trace)
+        polled = stream.poll(float("inf"))
+        state = stream.snapshot_state()
+        v1_keys = (
+            "n_queues", "lateness", "max_pending", "watermark", "sealed",
+            "buffer", "expected", "slot_task", "resolved", "next_slot",
+            "final_records", "dropped_tasks", "n_polled", "counters",
+        )
+        restored = LiveTraceStream.from_state(
+            {"version": 1, **{k: state[k] for k in v1_keys}}
+        )
+        assert restored.n_revealed == len(polled)
+        assert restored.poll(float("inf")) == []
+        assert restored.horizon == stream.horizon
+        assert restored.retain is None
+
+
+class TestCompaction:
+    def test_validation(self):
+        with pytest.raises(IngestError, match="retain"):
+            LiveTraceStream(n_queues=3, retain=-1.0)
+
+    def test_compact_without_retain_is_a_noop(self):
+        trace, horizon = make_trace(n_tasks=60)
+        stream = ingested(trace)
+        stream.poll(float("inf"))
+        assert stream.compact() == {
+            "compacted_tasks": 0, "compacted_events": 0,
+        }
+        assert stream.n_compacted_tasks == 0
+        assert stream.compaction is None
+
+    def test_compaction_preserves_future_reveals_bitwise(self):
+        """The acceptance property: a compacting stream reveals exactly
+        the sequence its non-compacting twin reveals."""
+        trace, horizon = make_trace(n_tasks=200)
+        batches = replay_batches(trace, batch_tasks=10)
+        plain = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        compacting = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 8
+        )
+        polls: dict = {id(plain): [], id(compacting): []}
+        for stream in (plain, compacting):
+            for watermark, batch in batches:
+                stream.advance_watermark(watermark)
+                stream.ingest(batch)
+                polls[id(stream)].extend(stream.poll(stream.horizon + 1.0))
+                stream.compact()
+            stream.seal()
+            polls[id(stream)].extend(stream.poll(float("inf")))
+        assert polls[id(plain)] == polls[id(compacting)]
+        assert compacting.n_compacted_tasks > 0
+        assert (
+            compacting.n_retained_tasks + compacting.n_compacted_tasks
+            == trace.skeleton.n_tasks
+        )
+        stats = compacting.memory_stats()
+        assert stats["retained_tasks"] < trace.skeleton.n_tasks
+        assert stats["ready_entries"] < len(polls[id(plain)])
+
+    def test_summary_accumulates_the_folded_statistics(self):
+        trace, horizon = make_trace(n_tasks=200)
+        stream = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 10
+        )
+        for watermark, batch in replay_batches(trace, batch_tasks=10):
+            stream.advance_watermark(watermark)
+            stream.ingest(batch)
+            stream.poll(stream.horizon + 1.0)
+            stream.compact()
+        summary = stream.compaction
+        assert summary is not None
+        assert summary.n_tasks == stream.n_compacted_tasks
+        assert summary.n_events == stream.n_compacted_events
+        assert sum(summary.events_per_queue) == summary.n_events
+        assert summary.first_entry <= summary.last_entry <= horizon
+        measured = [
+            q for q in range(stream.n_queues)
+            if summary.observed_services_per_queue[q]
+        ]
+        assert measured  # a 30%-observed trace folds some measured services
+        for q in measured:
+            assert np.isfinite(summary.mean_service(q))
+            assert summary.mean_service(q) > 0.0
+        # The dict round trip is exact (what the snapshot stores).
+        from repro.live import CompactionSummary
+
+        clone = CompactionSummary.from_dict(summary.to_dict())
+        assert clone.to_dict() == summary.to_dict()
+
+    def test_windows_cannot_touch_compacted_tasks(self):
+        trace, horizon = make_trace(n_tasks=120)
+        stream = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 20
+        )
+        stream.ingest(trace_to_records(trace))
+        stream.advance_watermark(horizon + 1.0)
+        polled = stream.poll(float("inf"))
+        stream.compact()
+        assert stream.n_compacted_tasks > 0
+        gone = polled[0][0]  # the oldest polled task was folded first
+        with pytest.raises(IngestError, match="retention horizon"):
+            stream.subset([gone])
+        # Retained tasks still subset fine.
+        retained = sorted(stream._final_records)
+        assert set(stream.subset(retained).skeleton.task_ids) == set(retained)
+
+    def test_redelivery_of_a_compacted_task_counts_as_duplicate(self):
+        trace, horizon = make_trace(n_tasks=120)
+        by_task: dict = {}
+        for r in trace_to_records(trace):
+            by_task.setdefault(r["task"], []).append(r)
+        stream = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 20
+        )
+        stream.ingest(trace_to_records(trace))
+        stream.advance_watermark(horizon + 1.0)
+        polled = stream.poll(float("inf"))
+        stream.compact()
+        gone = polled[0][0]
+        summary = stream.ingest(by_task[gone])  # an at-least-once retry
+        assert summary["duplicates"] == len(by_task[gone])
+        assert summary["admitted"] == 0
+
+    def test_snapshot_round_trips_after_compaction(self):
+        trace, horizon = make_trace()
+        batches = replay_batches(trace, batch_tasks=16)
+        stream = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 8
+        )
+        cut = len(batches) // 2
+        for watermark, batch in batches[:cut]:
+            stream.advance_watermark(watermark)
+            stream.ingest(batch)
+            stream.poll(stream.horizon + 1.0)
+            stream.compact()
+        assert stream.n_compacted_tasks > 0
+        restored = LiveTraceStream.from_state(stream.snapshot_state())
+        assert restored.n_revealed == stream.n_revealed
+        assert restored.n_compacted_tasks == stream.n_compacted_tasks
+        assert restored.compaction.to_dict() == stream.compaction.to_dict()
+        assert restored.memory_stats() == stream.memory_stats()
+        # Both continue identically through the tail.
+        for s in (stream, restored):
+            for watermark, batch in batches[cut:]:
+                s.advance_watermark(watermark)
+                s.ingest(batch)
+            s.seal()
+        assert stream.poll(float("inf")) == restored.poll(float("inf"))
+
+    def test_compaction_bounds_the_snapshot(self):
+        """The checkpoint record log is the retained tail: a compacted
+        stream's snapshot is strictly smaller than its twin's."""
+        import pickle
+
+        trace, horizon = make_trace(n_tasks=200)
+        plain = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        compacting = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 20
+        )
+        for stream in (plain, compacting):
+            stream.ingest(trace_to_records(trace))
+            stream.advance_watermark(horizon + 1.0)
+            stream.poll(float("inf"))
+            stream.compact()
+        small = len(pickle.dumps(compacting.snapshot_state()))
+        large = len(pickle.dumps(plain.snapshot_state()))
+        assert compacting.n_compacted_tasks > 0
+        assert small < large / 2
+
+    def test_newest_finalized_task_is_always_retained(self):
+        trace, horizon = make_trace(n_tasks=60)
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues, retain=0.0)
+        stream.ingest(trace_to_records(trace))
+        stream.advance_watermark(horizon + 1.0)
+        stream.poll(float("inf"))
+        stream.compact()
+        assert stream.n_retained_tasks >= 1
+        stream.trace  # still a valid (non-empty) trace

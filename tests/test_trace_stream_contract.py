@@ -14,14 +14,24 @@ drift from what the streaming estimator assumes:
   estimate, and the full reveal set is exactly the task universe;
 * **subset stability** — subsetting revealed tasks is deterministic,
   bitwise equal to :func:`~repro.events.subset.subset_trace` over the
-  stream's backing trace, and stable under repetition.
+  stream's backing trace, and stable under repetition;
+* **assembly equivalence** — a live stream's incrementally assembled
+  trace is bitwise the sort-based :func:`~repro.live.records.
+  assemble_trace` rebuild of its retained record log, under every
+  ingestion pattern and across prefix compaction (the oracle for the
+  O(task) fast path).
 """
 
 import numpy as np
 import pytest
 
 from repro.events.subset import subset_trace
-from repro.live import LiveTraceStream, trace_to_records
+from repro.live import (
+    LiveTraceStream,
+    assemble_trace,
+    replay_batches,
+    trace_to_records,
+)
 from repro.network import build_tandem_network
 from repro.observation import TaskSampling
 from repro.online import ReplayTraceStream
@@ -150,3 +160,72 @@ class TestSubsetStability:
         polled = [task for task, _ in stream.poll(horizon / 2)]
         window = stream.subset(polled[:10])
         assert set(window.skeleton.task_ids) == set(polled[:10])
+
+
+def assert_traces_bitwise(got, ref):
+    np.testing.assert_array_equal(got.skeleton.task, ref.skeleton.task)
+    np.testing.assert_array_equal(got.skeleton.seq, ref.skeleton.seq)
+    np.testing.assert_array_equal(got.skeleton.queue, ref.skeleton.queue)
+    np.testing.assert_array_equal(got.skeleton.state, ref.skeleton.state)
+    np.testing.assert_array_equal(got.skeleton.arrival, ref.skeleton.arrival)
+    np.testing.assert_array_equal(
+        got.skeleton.departure, ref.skeleton.departure
+    )
+    np.testing.assert_array_equal(got.arrival_observed, ref.arrival_observed)
+    np.testing.assert_array_equal(
+        got.departure_observed, ref.departure_observed
+    )
+    for q in range(got.skeleton.n_queues):
+        np.testing.assert_array_equal(
+            got.skeleton.queue_order(q), ref.skeleton.queue_order(q)
+        )
+
+
+class TestAssemblyEquivalenceOracle:
+    """The incremental fast path must be indistinguishable from the
+    sort-based rebuild it replaced — the oracle is `assemble_trace` over
+    the stream's retained record log."""
+
+    @pytest.mark.parametrize("pattern", ("one_shot", "batched", "shuffled"))
+    def test_incremental_assembly_matches_the_rebuild(self, pattern, recorded):
+        trace, _ = recorded
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        records = trace_to_records(trace)
+        if pattern == "one_shot":
+            stream.ingest(records)
+        elif pattern == "batched":
+            for watermark, batch in replay_batches(trace, batch_tasks=16):
+                stream.advance_watermark(watermark)
+                stream.ingest(batch)
+        else:
+            rng = np.random.default_rng(7)
+            shuffled = [records[i] for i in rng.permutation(len(records))]
+            for start in range(0, len(shuffled), 64):
+                stream.ingest(shuffled[start:start + 64])
+        stream.seal()
+        assert stream._assembler is not None  # the fast path stayed active
+        oracle = assemble_trace(
+            list(stream._final_records.values()),
+            n_queues=trace.skeleton.n_queues,
+        )
+        assert_traces_bitwise(stream.trace, oracle)
+
+    def test_compacted_tail_assembly_matches_the_rebuild(self, recorded):
+        """After every compaction step the retained tail's trace is still
+        bitwise the rebuild of the retained records."""
+        trace, horizon = recorded
+        stream = LiveTraceStream(
+            n_queues=trace.skeleton.n_queues, retain=horizon / 6
+        )
+        for watermark, batch in replay_batches(trace, batch_tasks=12):
+            stream.advance_watermark(watermark)
+            stream.ingest(batch)
+            stream.poll(stream.horizon + 1.0)
+            stream.compact()
+            if stream.n_retained_tasks:
+                oracle = assemble_trace(
+                    list(stream._final_records.values()),
+                    n_queues=trace.skeleton.n_queues,
+                )
+                assert_traces_bitwise(stream.trace, oracle)
+        assert stream.n_compacted_tasks > 0

@@ -284,6 +284,87 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ask the serving process to exit once this client is done",
     )
 
+    route = sub.add_parser(
+        "route",
+        help="run a multi-service estimation tier behind one ingest router",
+        description=(
+            "Start a shared-nothing estimation tier: N independent "
+            "estimator services in their own processes, fronted by an "
+            "ingest router that stripes the entry keyspace across them, "
+            "merges estimates/anomalies/health, and supervises the "
+            "services (a killed service restarts from its checkpoint and "
+            "the router replays its spooled tail). Clients speak the "
+            "ordinary live protocol — `repro ingest` works unchanged. "
+            "Example: `repro route --services 4 --queues 3 --window 15 "
+            "--checkpoint-dir ckpts --port 7577 --authkey secret`."
+        ),
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free one, printed on start)")
+    route.add_argument(
+        "--authkey", default=None,
+        help="shared handshake secret, used both by clients of the router "
+        "and on the router's internal links to its partition services",
+    )
+    route.add_argument("--services", type=int, default=2,
+                       help="independent estimator services to run")
+    route.add_argument("--queues", type=int, required=True,
+                       help="queue count of the monitored network, "
+                       "including entry queue 0")
+    route.add_argument("--window", type=float, required=True,
+                       help="estimation window length in trace clock units")
+    route.add_argument("--step", type=float, default=None,
+                       help="window start spacing (default: the window length)")
+    route.add_argument("--iterations", type=int, default=30,
+                       help="StEM iterations per window")
+    route.add_argument("--min-observed", type=int, default=3,
+                       help="windows with fewer fully observed tasks are "
+                       "skipped")
+    route.add_argument("--seed", type=int, default=0,
+                       help="estimation seed (each service derives its own "
+                       "child seed from it)")
+    route.add_argument("--shards", type=int, default=1,
+                       help="sharded sweeps per window, per service")
+    route.add_argument("--shard-workers", type=int, default=None,
+                       help="worker processes hosting each service's shards")
+    route.add_argument(
+        "--lateness", type=float, default=0.0,
+        help="grace interval behind the watermark within which measurements "
+        "are still admitted; older ones are dropped as stragglers",
+    )
+    route.add_argument("--max-pending", type=int, default=100_000,
+                       help="per-service buffered-record bound before "
+                       "ingestion backpressure")
+    route.add_argument(
+        "--retain", type=float, default=None,
+        help="per-service retention horizon in trace clock units "
+        "(default: keep full history)",
+    )
+    route.add_argument(
+        "--block", type=int, default=None,
+        help="entry slots per stripe block; tasks entering within one "
+        "block land on the same service (default: 32)",
+    )
+    route.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for per-service snapshots (partition-N.ckpt); "
+        "required for crash recovery of a killed service",
+    )
+    route.add_argument("--checkpoint-every", type=int, default=1,
+                       help="published windows between snapshots")
+    route.add_argument(
+        "--max-spool", type=int, default=100_000,
+        help="acked-but-uncheckpointed records the router retains per "
+        "service for crash replay before evicting the oldest",
+    )
+    route.add_argument(
+        "--probe-interval", type=float, default=1.0,
+        help="seconds between supervisor liveness probes of each service",
+    )
+    route.add_argument("--anomaly-threshold", type=float, default=4.0,
+                       help="robust z-score flagging threshold")
+
     exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
     exp.add_argument("which", choices=["fig4", "fig5", "variance"])
     exp.add_argument("--seed", type=int, default=0)
@@ -578,6 +659,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.live import DEFAULT_BLOCK, IngestRouter, LiveServer
+
+    if args.services < 1:
+        raise SystemExit("--services must be at least 1")
+    if args.window <= 0.0:
+        raise SystemExit("--window must be positive")
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.shard_workers is not None and args.shards == 1:
+        raise SystemExit("--shard-workers requires --shards > 1")
+    service_config = {
+        "n_queues": args.queues,
+        "window": args.window,
+        "stem_iterations": args.iterations,
+        "min_observed_tasks": args.min_observed,
+        "random_state": args.seed,
+        "shards": args.shards,
+        "lateness": args.lateness,
+        "max_pending": args.max_pending,
+        "checkpoint_every": args.checkpoint_every,
+        "anomaly_threshold": args.anomaly_threshold,
+    }
+    if args.step is not None:
+        service_config["step"] = args.step
+    if args.shard_workers is not None:
+        service_config["shard_workers"] = args.shard_workers
+    if args.retain is not None:
+        service_config["retain"] = args.retain
+    router = IngestRouter(
+        args.services,
+        service_config,
+        block=DEFAULT_BLOCK if args.block is None else args.block,
+        checkpoint_dir=args.checkpoint_dir,
+        authkey=_authkey(args.authkey),
+        max_spool_records=args.max_spool,
+        probe_interval=args.probe_interval,
+    )
+    print(f"starting {args.services} partition services ...")
+    router.start()
+    # The router implements the full service command surface, so the
+    # stock LiveServer fronts the whole tier unchanged.
+    server = LiveServer(
+        router, host=args.host, port=args.port, authkey=_authkey(args.authkey)
+    )
+    server.start()
+    host, port = server.address
+    print(f"repro routing tier ({args.services} services) "
+          f"listening on {host}:{port}")
+    print("ingest with: repro ingest TRACE.jsonl "
+          f"--connect {host}:{port}" +
+          (" --authkey <key>" if args.authkey else ""))
+    try:
+        server.wait_for_shutdown()
+        print("shutdown requested; draining")
+    except KeyboardInterrupt:
+        print("\ninterrupted; draining")
+    finally:
+        server.close()
+        health = router.health()
+        router.close()
+    print(f"served {health['windows_published']} windows "
+          f"({health['anomalies']} anomaly flags) across "
+          f"{health['router']['n_partitions']} services; "
+          f"status: {health['status']}; "
+          f"service restarts: {health['router']['n_restarts']}")
+    if health["status"] == "failed":
+        print(f"estimator error: {health['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     import time
 
@@ -715,6 +868,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stream(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
     return _cmd_experiment(args)

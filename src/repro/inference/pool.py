@@ -323,6 +323,23 @@ class PersistentWorkerPool:
         """Whether the pool has been shut down (voluntarily or on error)."""
         return self._closed
 
+    def worker_pids(self) -> list[int | None]:
+        """PID per worker (``None`` for remote peers the master never
+        spawned) — what a supervisor's liveness probe, or a fault-injection
+        test picking a victim, needs to see."""
+        return [
+            getattr(handle.process, "pid", None) for handle in self._handles
+        ]
+
+    def n_alive(self) -> int:
+        """Locally spawned worker processes still running.
+
+        A remote peer (``process is None``) is not counted — its liveness
+        is only observable through the conversation (keepalive turns a
+        vanished peer into an :class:`EOFError` on the next exchange).
+        """
+        return sum(1 for handle in self._handles if handle.is_alive())
+
     def _expect_ok(self, reply):
         if reply[0] == "error":
             self.close()

@@ -824,6 +824,23 @@ class WarmShardWorkerPool(ShardWorkerPool):
         """
         return self._broadcast(("recall",))
 
+    def probe(self) -> dict:
+        """Liveness snapshot of the pool's worker peers.
+
+        The supervision hook for an always-on deployment: a periodic
+        probe that sees ``n_alive < n_workers`` on an open pool knows a
+        worker was killed before the next sweep trips over the dead
+        connection, and the pids let an operator (or a fault-injection
+        test) name the victim.
+        """
+        return {
+            "closed": self.closed,
+            "n_workers": self.n_workers,
+            "n_alive": self.n_alive(),
+            "pids": self.worker_pids(),
+            "n_hosted_shards": len(self._hosted),
+        }
+
     def close(self) -> None:
         """Shut the pool down and forget hosted residents; idempotent."""
         super().close()

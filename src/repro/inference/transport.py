@@ -245,7 +245,21 @@ class SocketEndpoint:
         return _recv_exact_from(self._sock, n)
 
     def close(self) -> None:
-        """Close the underlying socket; never raises."""
+        """Shut down and close the underlying socket; never raises.
+
+        ``shutdown(SHUT_RDWR)`` comes first because a bare ``close()``
+        does not reliably wake another thread blocked in ``recv`` on the
+        same socket (Linux keeps the file description alive until its
+        last user drops it, so the blocked reader sleeps on).  The
+        shutdown sends the FIN and fails every pending ``recv`` with
+        :class:`EOFError`/:class:`OSError` immediately — which is what
+        lets a server drop an idle connection without waiting out a join
+        timeout per handler thread.
+        """
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected (peer closed first) — fine
         try:
             self._sock.close()
         except OSError:
@@ -371,30 +385,55 @@ class SocketTransport(WorkerTransport):
         # port cannot keep launch() blocked past accept_timeout.
         deadline = time.monotonic() + self.accept_timeout
         n_rejected = 0
+
+        def _no_worker(exc: Exception) -> InferenceError:
+            if proc is not None:
+                proc.terminate()
+            # Say what actually happened: "nobody dialed in" and
+            # "someone dialed in but failed the handshake" need very
+            # different fixes (dead worker host vs. skewed authkey).
+            detail = (
+                f"; {n_rejected} connection(s) arrived but failed the "
+                "HMAC handshake — wrong authkey on one side, or a "
+                "peer that closed mid-hello"
+                if n_rejected
+                else ""
+            )
+            return InferenceError(
+                f"no worker connected to {self.address} within the accept "
+                f"timeout ({exc}){detail}"
+            )
+
         while True:
             remaining = deadline - time.monotonic()
+            if proc is not None and not proc.is_alive():
+                # The locally spawned worker died before dialing in (an
+                # import error in the fork target, an OOM kill): its exit
+                # code says more than any timeout, and waiting out the
+                # rest of the accept window would only delay the caller's
+                # recovery path.
+                proc.join()
+                raise InferenceError(
+                    f"locally spawned worker exited with code "
+                    f"{proc.exitcode} before connecting to {self.address} — "
+                    "it never reached the handshake (crash during startup)"
+                )
             try:
                 if remaining <= 0.0:
                     raise socket.timeout("authentication deadline passed")
-                self._listener.settimeout(remaining)
-                conn, _ = self._listener.accept()
-            except (socket.timeout, OSError) as exc:
-                if proc is not None:
-                    proc.terminate()
-                # Say what actually happened: "nobody dialed in" and
-                # "someone dialed in but failed the handshake" need very
-                # different fixes (dead worker host vs. skewed authkey).
-                detail = (
-                    f"; {n_rejected} connection(s) arrived but failed the "
-                    "HMAC handshake — wrong authkey on one side, or a "
-                    "peer that closed mid-hello"
-                    if n_rejected
-                    else ""
+                # Wake up at least every 100 ms to re-check the spawned
+                # process, so a child that crashes before dialing in fails
+                # the launch promptly instead of after accept_timeout.
+                self._listener.settimeout(
+                    min(remaining, 0.1) if proc is not None else remaining
                 )
-                raise InferenceError(
-                    f"no worker connected to {self.address} within the accept "
-                    f"timeout ({exc}){detail}"
-                ) from None
+                conn, _ = self._listener.accept()
+            except socket.timeout as exc:
+                if proc is not None and time.monotonic() < deadline:
+                    continue  # short poll tick, not the real deadline
+                raise _no_worker(exc) from None
+            except OSError as exc:
+                raise _no_worker(exc) from None
             # Authenticate before any pickle crosses; an impostor's
             # connection is dropped and we keep waiting for the real
             # worker until the deadline ends the attempt.

@@ -35,6 +35,12 @@ from repro.live.records import (
     replay_batches,
     trace_to_records,
 )
+from repro.live.router import (
+    DEFAULT_BLOCK,
+    IngestRouter,
+    entry_partition,
+    rebase_slot,
+)
 from repro.live.server import DEFAULT_AUTHKEY, LiveClient, LiveServer
 from repro.live.service import EstimatorService, estimate_to_record
 from repro.live.stream import CompactionSummary, LiveTraceStream
@@ -46,6 +52,10 @@ __all__ = [
     "LiveServer",
     "LiveClient",
     "EstimatorService",
+    "IngestRouter",
+    "DEFAULT_BLOCK",
+    "entry_partition",
+    "rebase_slot",
     "estimate_to_record",
     "trace_to_records",
     "assemble_trace",

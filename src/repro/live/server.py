@@ -90,6 +90,13 @@ class LiveServer:
         #: Connections dropped for failing the handshake (misconfigured
         #: clients show up here instead of as silent hangs).
         self.n_rejected = 0
+        #: Commands that raised something *other* than the protocol's
+        #: expected error types.  Each one is a bug in the service, but it
+        #: must surface as an ``("error", ...)`` reply plus this counter —
+        #: never as a dead handler thread with the client wedged in recv.
+        self.n_dispatch_errors = 0
+        #: Human-readable description of the newest unexpected failure.
+        self.last_dispatch_error: str | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -211,7 +218,12 @@ class LiveServer:
             if command == "anomalies":
                 return ("ok", self.service.anomalies())
             if command == "health":
-                return ("ok", self.service.health())
+                record = self.service.health()
+                # Attach the wire layer's own vital signs: a monitoring
+                # consumer polling health sees handshake rejections and
+                # swallowed dispatch failures without a server-side log.
+                record["server"] = self.stats()
+                return ("ok", record)
             if command == "shutdown":
                 self._shutdown_requested.set()
                 return ("ok", "shutting down")
@@ -222,6 +234,28 @@ class LiveServer:
             return ("error", str(exc))
         except (TypeError, ValueError) as exc:
             return ("error", f"bad arguments for {command!r}: {exc}")
+        except Exception as exc:  # noqa: BLE001 — reply, count, keep serving
+            # Anything else is a service bug — but letting it unwind the
+            # handler thread would leave the client blocked in recv()
+            # until TCP keepalive fires, minutes later.  Reply, record it
+            # (health() exposes the tally), and keep the connection alive.
+            description = f"{type(exc).__name__}: {exc}"
+            with self._lock:
+                self.n_dispatch_errors += 1
+                self.last_dispatch_error = f"{command}: {description}"
+            return (
+                "error",
+                f"internal error handling {command!r}: {description}",
+            )
+
+    def stats(self) -> dict:
+        """The server's own counters (merged into ``health`` replies)."""
+        with self._lock:
+            return {
+                "n_rejected": self.n_rejected,
+                "n_dispatch_errors": self.n_dispatch_errors,
+                "last_dispatch_error": self.last_dispatch_error,
+            }
 
 
 class LiveClient:
@@ -260,16 +294,48 @@ class LiveClient:
         sock.settimeout(None)
         self._endpoint = SocketEndpoint(sock)
         self._lock = threading.Lock()
+        #: Why this client is unusable (``None`` while healthy).  Once a
+        #: connection has lost a reply or produced a frame that is not a
+        #: ``(status, payload)`` pair, the request/reply pairing on the
+        #: wire can no longer be trusted — a later call could read the
+        #: stale reply of an earlier one — so the client stays dead and
+        #: every subsequent call fails fast instead of desyncing quietly.
+        self._dead: str | None = None
+
+    @property
+    def dead(self) -> str | None:
+        """Why this client is permanently unusable (``None`` if healthy)."""
+        return self._dead
 
     def _call(self, *message):
         with self._lock:
+            if self._dead is not None:
+                raise IngestError(
+                    f"client for {self.address} is dead ({self._dead}); "
+                    "open a new LiveClient"
+                )
             try:
                 self._endpoint.send(message)
-                status, payload = self._endpoint.recv()
+                reply = self._endpoint.recv()
             except (EOFError, OSError) as exc:
+                self._dead = f"connection lost mid-command: {exc}"
                 raise IngestError(
                     f"connection to {self.address} lost mid-command ({exc})"
                 ) from None
+            if (
+                not isinstance(reply, tuple)
+                or len(reply) != 2
+            ):
+                self._dead = (
+                    f"malformed reply to {message[0]!r}: {reply!r}"
+                )
+                self._endpoint.close()
+                raise IngestError(
+                    f"malformed reply from {self.address} to {message[0]!r}: "
+                    f"expected a (status, payload) pair, got {reply!r} — "
+                    "closing the connection (framing can no longer be trusted)"
+                )
+            status, payload = reply
         if status != "ok":
             raise IngestError(f"server refused {message[0]!r}: {payload}")
         return payload

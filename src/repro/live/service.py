@@ -142,6 +142,15 @@ class EstimatorService:
         self._ckpt_error: str | None = None
         #: Size in bytes of the last snapshot written (None before one).
         self.last_checkpoint_bytes: int | None = None
+        #: What the newest snapshot **on disk** covers: the cumulative
+        #: count of records successfully ingested before its capture, and
+        #: the windows published by then.  A router uses the count as a
+        #: logical clock to trim its replay spool — anything at or below
+        #: ``n_seen`` is durable and need never be replayed.
+        self.last_checkpoint_meta: dict | None = None
+        #: Cumulative records accepted by :meth:`ingest` (successful calls
+        #: only, so a router acking batches counts the same clock).
+        self.n_records_seen = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._status = "idle"
@@ -345,6 +354,12 @@ class EstimatorService:
             "checkpointing": self.checkpoint_path is not None,
             "checkpoint_bytes": self.last_checkpoint_bytes,
             "checkpoint_error": self._ckpt_error,
+            "checkpoint_meta": self.last_checkpoint_meta,
+            "n_records_seen": self.n_records_seen,
+            # Shard-worker liveness (None when the estimator is unpooled):
+            # a monitoring consumer sees a killed worker here before the
+            # next window trips over it, and the relaunch tally after.
+            "workers": self.estimator.pool_stats(),
         }
         if isinstance(stream, LiveTraceStream):
             record.update(
@@ -368,7 +383,18 @@ class EstimatorService:
         """Admit measurement records into the live stream."""
         if not isinstance(self.stream, LiveTraceStream):
             raise IngestError("this service's stream does not accept ingestion")
-        return self.stream.ingest(records)
+        summary = self.stream.ingest(records)
+        # Count only *after* the stream accepted the whole batch, so a
+        # snapshot can never claim records the stream does not hold (the
+        # safe direction: a snapshot between the ingest and this increment
+        # merely makes a replayer re-send records the stream will drop as
+        # duplicates).
+        with self._lock:
+            self.n_records_seen += len(records)
+            # The clock rides the ack: a router tags its replay-spool
+            # entries with it and compares against checkpoint coverage.
+            summary["n_seen"] = self.n_records_seen
+        return summary
 
     def advance_watermark(self, t: float) -> float:
         """Advance the live stream's watermark."""
@@ -401,6 +427,7 @@ class EstimatorService:
                         "poll_interval": self.poll_interval,
                         "anomaly_threshold": self.anomaly_threshold,
                     },
+                    "ingest": {"n_seen": self.n_records_seen},
                 }
                 self._windows_since_checkpoint = 0
                 self._ckpt_seq += 1
@@ -424,6 +451,12 @@ class EstimatorService:
             os.replace(tmp, self.checkpoint_path)
             self._ckpt_written = seq
             self.last_checkpoint_bytes = len(payload)
+            # Meta describes the snapshot that *reached disk* — never the
+            # captured-but-unwritten one a crash would lose.
+            self.last_checkpoint_meta = {
+                "n_seen": snapshot.get("ingest", {}).get("n_seen", 0),
+                "windows": len(snapshot.get("published", ())),
+            }
 
     def _checkpoint_now(self, wait: bool = True) -> None:
         if self.checkpoint_path is None:
@@ -511,6 +544,12 @@ class EstimatorService:
             **options,
         )
         service._published = list(snapshot["published"])
+        service.n_records_seen = snapshot.get("ingest", {}).get("n_seen", 0)
+        # The restored state *is* the newest on-disk snapshot.
+        service.last_checkpoint_meta = {
+            "n_seen": service.n_records_seen,
+            "windows": len(service._published),
+        }
         # Publish times are per process lifetime; pre-restart windows get
         # nan so the list stays index-aligned with the published windows.
         service.published_at = [float("nan")] * len(service._published)

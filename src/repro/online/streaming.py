@@ -53,7 +53,7 @@ from repro.online.windowed import (
     task_fully_observed,
     validate_window_params,
 )
-from repro.rng import RandomState, as_seed_sequence, spawn
+from repro.rng import RandomState, as_generator, as_seed_sequence
 
 #: Re-partitioning policies of :class:`StreamingEstimator`.
 REPARTITION_MODES = ("incremental", "cold")
@@ -265,6 +265,15 @@ class StreamingEstimator:
         self._prev_n_shards = 0
         self._pool: WarmShardWorkerPool | None = None
         self.n_windows_done = 0
+        #: How many times a window whose worker pool died under it (a
+        #: killed or crashed worker process) is re-run on a relaunched
+        #: pool before its failure is recorded as data.  Operational
+        #: policy, not statistical state: a retried window re-derives its
+        #: draws from the same per-window seed child, so the estimate is
+        #: bitwise what an uninterrupted run would have published.
+        self.worker_retries = 1
+        #: Pools relaunched after dying mid-window (fault observability).
+        self.n_worker_relaunches = 0
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -285,6 +294,24 @@ class StreamingEstimator:
                 min(self.shard_workers, self.shards), transport=self.transport
             )
         return self._pool
+
+    def pool_stats(self) -> dict | None:
+        """Liveness probe of the warm shard pool (``None`` when unpooled).
+
+        What a supervising service folds into its health record: worker
+        pids and alive counts from the pool plus this estimator's
+        relaunch tally, so a killed shard worker is visible to a
+        monitoring consumer before *and* after the recovery path runs.
+        """
+        if self._pool is None:
+            if not (self.shards > 1 and self.shard_workers and self.warm_workers):
+                return None
+            return {"closed": True, "n_workers": 0, "n_alive": 0,
+                    "pids": [], "n_hosted_shards": 0,
+                    "n_relaunches": self.n_worker_relaunches}
+        stats = self._pool.probe()
+        stats["n_relaunches"] = self.n_worker_relaunches
+        return stats
 
     def close(self) -> None:
         """Shut the worker pool and the owned transport down; idempotent."""
@@ -372,10 +399,29 @@ class StreamingEstimator:
     # Window processing.
     # ------------------------------------------------------------------
 
-    def _next_stream(self) -> np.random.Generator:
+    def _next_window_seed(self) -> np.random.SeedSequence:
         # One incremental spawn from the preserved SeedSequence — the same
         # child the windowed estimator's up-front spawn(n) hands window i.
-        return spawn(self._seed_seq, 1)[0]
+        # The *child sequence* (not a generator) is what a window keeps:
+        # a retry after a worker crash rebuilds a fresh generator from it,
+        # so the re-run draws exactly the stream the first attempt did.
+        return self._seed_seq.spawn(1)[0]
+
+    @staticmethod
+    def _attempt_seed(window_seed: np.random.SeedSequence) -> np.random.SeedSequence:
+        # A pristine clone of the window's seed child for one run_stem
+        # attempt.  The sharded path derives shard streams by *spawning*
+        # from the generator's underlying sequence, which advances the
+        # sequence's child counter in place — so handing every attempt the
+        # same SeedSequence object would give a retried window different
+        # shard streams than its first attempt consumed.  Cloning resets
+        # the counter: each attempt spawns the exact children the
+        # uninterrupted run would have.
+        return np.random.SeedSequence(
+            entropy=window_seed.entropy,
+            spawn_key=window_seed.spawn_key,
+            pool_size=window_seed.pool_size,
+        )
 
     def _task_observed(self, task_id: int) -> bool:
         # Only a True verdict is cacheable: a live stream's measurements
@@ -438,7 +484,7 @@ class StreamingEstimator:
             self._observed.pop(k, None)
         tasks = [k for k, t in self._entries.items() if t0 <= t < t1]
         n_observed = sum(self._task_observed(k) for k in tasks)
-        stream_rng = self._next_stream()  # consumed per window, like windowed
+        window_seed = self._next_window_seed()  # one child per window
         self.n_windows_done += 1
         if len(tasks) < 2 or n_observed < self.min_observed_tasks:
             return StreamEstimate(
@@ -451,9 +497,6 @@ class StreamingEstimator:
             partition.n_shards if partition is not None
             else min(self.shards, len(tasks))
         )
-        pool = self._ensure_pool()
-        if pool is not None:
-            pool.last_adoption = {}
         cold_workers = (
             self.shard_workers
             if (self.shard_workers and self.shards > 1 and not self.warm_workers)
@@ -461,21 +504,41 @@ class StreamingEstimator:
         )
         rates = None
         failure = None
-        try:
-            stem = run_stem(
-                window_trace,
-                n_iterations=self.stem_iterations,
-                init_method="heuristic",
-                random_state=stream_rng,
-                shards=self.shards,
-                shard_partition=partition,
-                shard_pool=pool,
-                persistent_workers=cold_workers,
-                shard_transport=self.transport if cold_workers else None,
-            )
-            rates = stem.rates
-        except InferenceError as exc:  # a failed window is data, not a crash
-            failure = str(exc)
+        relaunches_left = self.worker_retries
+        while True:
+            pool = self._ensure_pool()
+            if pool is not None:
+                pool.last_adoption = {}
+            try:
+                stem = run_stem(
+                    window_trace,
+                    n_iterations=self.stem_iterations,
+                    init_method="heuristic",
+                    # A fresh generator over a pristine clone of the
+                    # window's seed child per attempt: every draw (and
+                    # every shard-stream spawn) is a pure function of the
+                    # seed child and the window inputs, so a retried
+                    # window is bitwise the uninterrupted window.
+                    random_state=as_generator(self._attempt_seed(window_seed)),
+                    shards=self.shards,
+                    shard_partition=partition,
+                    shard_pool=pool,
+                    persistent_workers=cold_workers,
+                    shard_transport=self.transport if cold_workers else None,
+                )
+                rates = stem.rates
+            except InferenceError as exc:
+                if pool is not None and pool.closed and relaunches_left > 0:
+                    # The warm pool died under the window (a kill -9'd or
+                    # crashed worker shuts the whole pool down).  Relaunch
+                    # it — _ensure_pool sees the closed pool and spawns a
+                    # fresh one, whose empty adoption diff re-ships every
+                    # resident — and re-run this window from its own seed.
+                    relaunches_left -= 1
+                    self.n_worker_relaunches += 1
+                    continue
+                failure = str(exc)  # a failed window is data, not a crash
+            break
         adoption = pool.last_adoption if pool is not None else {}
         return StreamEstimate(
             t0, t1, len(tasks), n_observed, rates, failure,

@@ -97,6 +97,34 @@ class TestEndpoints:
         finally:
             transport.close()
 
+    def test_crashed_local_spawn_fails_fast_with_its_exit_code(self):
+        """Regression: a locally spawned worker that died before dialing
+        in (import error, OOM kill) used to leave launch() blocked for
+        the whole accept window and then report a timeout that looked
+        exactly like a network problem.  launch() must notice the dead
+        child promptly and name its exit code."""
+        import time as _time
+
+        transport = SocketTransport(accept_timeout=20.0)
+        # Point spawned workers at a dead address: the child's connect()
+        # fails immediately and it exits nonzero before any handshake,
+        # while the master keeps listening on its real socket.
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead_address = probe.getsockname()[:2]
+        probe.close()
+        transport.address = dead_address
+        t0 = _time.monotonic()
+        try:
+            with pytest.raises(
+                InferenceError,
+                match=r"exited with code .* before connecting",
+            ):
+                transport.launch(_echo_worker, [])
+        finally:
+            transport.close()
+        # Fast fail: well inside the 20s accept window.
+        assert _time.monotonic() - t0 < 10.0
+
     def test_serve_worker_joins_an_external_master(self):
         """The cross-machine entry point: a thread plays the remote host."""
         transport = SocketTransport(spawn_local=False, authkey=b"shared-secret")

@@ -183,6 +183,96 @@ class TestProtocolErrors:
                     client.ingest(stuck)
                 assert client.health()["n_pending"] == 10
 
+    def test_internal_error_gets_error_reply_not_dead_thread(self):
+        """Regression: a service method raising something unexpected used
+        to unwind the handler thread, leaving the client wedged in recv()
+        forever.  It must come back as an ``("error", ...)`` reply, be
+        counted, and leave the connection usable."""
+        trace, horizon = make_trace(n_tasks=60)
+        service = make_service(trace, horizon)
+        with service, LiveServer(service, authkey=b"k") as server:
+            with LiveClient(server.address, authkey=b"k") as client:
+                def boom():
+                    raise RuntimeError("wires crossed")
+                service.anomalies = boom
+                with pytest.raises(
+                    IngestError, match="internal error.*RuntimeError"
+                ):
+                    client.anomalies()
+                assert server.n_dispatch_errors == 1
+                assert "RuntimeError: wires crossed" in server.last_dispatch_error
+                # The connection survives, and health surfaces the tally
+                # to a monitoring consumer with no server-side log.
+                health = client.health()
+                assert health["status"] == "serving"
+                assert health["server"]["n_dispatch_errors"] == 1
+                assert "RuntimeError" in health["server"]["last_dispatch_error"]
+
+    def test_close_returns_promptly_with_idle_connected_client(self):
+        """Regression: server shutdown used to wait out a 5s join per
+        handler thread blocked in recv() on an idle connection, because a
+        bare close() does not wake a reader on Linux.  The SHUT_RDWR in
+        SocketEndpoint.close() must make close() prompt."""
+        trace, horizon = make_trace(n_tasks=60)
+        service = make_service(trace, horizon)
+        with service:
+            server = LiveServer(service, authkey=b"k").start()
+            client = LiveClient(server.address, authkey=b"k")
+            assert client.health()["status"] == "serving"
+            t0 = time.monotonic()
+            server.close()
+            assert time.monotonic() - t0 < 4.0
+            # The idle client sees the hangup as a clean IngestError ...
+            with pytest.raises(IngestError, match="lost"):
+                client.health()
+            # ... and stays dead instead of desyncing on a retry.
+            assert client.dead is not None
+            client.close()
+
+    def test_malformed_reply_kills_the_client_fast(self):
+        """Regression: a reply that is not a (status, payload) pair used
+        to crash the unpacking *outside* any protocol handling, leaving
+        the connection half-desynced for the next call.  The client must
+        raise IngestError, mark itself dead, and fail every later call
+        fast without touching the wire."""
+        import threading
+
+        from repro.inference.transport import (
+            SocketEndpoint,
+            _master_handshake,
+        )
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+
+        def crooked_server():
+            conn, _ = listener.accept()
+            assert _master_handshake(conn, b"k")
+            endpoint = SocketEndpoint(conn)
+            endpoint.recv()
+            endpoint.send("definitely-not-a-pair")
+            try:
+                endpoint.recv()  # nothing else must arrive
+            except (EOFError, OSError):
+                pass
+            endpoint.close()
+
+        thread = threading.Thread(target=crooked_server, daemon=True)
+        thread.start()
+        try:
+            client = LiveClient(address, authkey=b"k")
+            with pytest.raises(IngestError, match="malformed reply"):
+                client.health()
+            assert "malformed" in client.dead
+            # Later calls fail fast — no frame crosses the dead socket.
+            with pytest.raises(IngestError, match="dead"):
+                client.ingest([])
+            thread.join(10.0)
+            assert not thread.is_alive()
+            client.close()
+        finally:
+            listener.close()
+
     def test_shutdown_command_wakes_the_serve_loop(self):
         trace, horizon = make_trace(n_tasks=60)
         service = make_service(trace, horizon)

@@ -213,6 +213,69 @@ class TestWarmReuse:
         assert all(len(block) > 0 for block in refreshed.shards)
 
 
+class TestWorkerCrashRecovery:
+    @pytest.mark.slow
+    def test_kill9_shard_worker_mid_stream_is_bitwise_transparent(self):
+        """Acceptance: kill -9 a shard worker while the stream runs.  The
+        next exchange closes the pool; the estimator relaunches it and
+        retries the window on the *same* per-window seed child, so every
+        frozen-window estimate is bitwise the uninterrupted run's."""
+        import os
+        import signal
+
+        trace, horizon = make_trace(n_tasks=200)
+        kwargs = dict(window=horizon / 3, stem_iterations=6, random_state=7,
+                      shards=2, shard_workers=2, repartition="cold")
+        ref = StreamingEstimator(ReplayTraceStream(trace), **kwargs).run()
+
+        est = StreamingEstimator(ReplayTraceStream(trace), **kwargs)
+        gen = est.estimates()
+        got = [next(gen)]  # first window brings the warm pool up
+        stats = est.pool_stats()
+        assert stats is not None and stats["n_alive"] == 2
+        victim = next(pid for pid in est._pool.worker_pids() if pid)
+        os.kill(victim, signal.SIGKILL)  # no cleanup, no goodbye
+        got.extend(gen)
+        est.close()
+
+        assert est.n_worker_relaunches >= 1
+        assert est.pool_stats()["n_relaunches"] == est.n_worker_relaunches
+        assert_windows_equal(ref, got)
+
+    def test_exhausted_relaunch_budget_fails_the_window_as_data(
+        self, monkeypatch
+    ):
+        """A pool that dies under *every* attempt does not retry forever:
+        the relaunch budget (worker_retries) bounds the loop, and the
+        window then records the failure as data — the pre-existing
+        failed-window contract."""
+        import repro.online.streaming as streaming_mod
+
+        trace, horizon = make_trace(n_tasks=200)
+        est = StreamingEstimator(
+            ReplayTraceStream(trace), window=horizon / 3, stem_iterations=6,
+            random_state=7, shards=2, shard_workers=2, repartition="cold",
+        )
+        attempts = []
+
+        def doomed_run_stem(*args, **kwargs):
+            attempts.append(1)
+            pool = kwargs.get("shard_pool")
+            if pool is not None:
+                pool.close()  # every attempt loses its worker host
+            raise InferenceError("worker host lost")
+
+        monkeypatch.setattr(streaming_mod, "run_stem", doomed_run_stem)
+        gen = est.estimates()
+        w0 = next(gen)
+        est.close()
+        assert not w0.ok and "worker host lost" in w0.failure
+        # One original attempt + worker_retries relaunched ones, no more.
+        assert est.worker_retries == 1
+        assert len(attempts) == 1 + est.worker_retries
+        assert est.n_worker_relaunches == est.worker_retries
+
+
 class TestStreamingLifecycle:
     def test_pool_survives_windows_and_closes_once(self):
         trace, horizon = make_trace(n_tasks=200)

@@ -18,16 +18,17 @@ def pytest_addoption(parser):
         "--kernel",
         action="store",
         default="array",
-        choices=("array", "object", "both"),
-        help="Gibbs sweep engine the benchmarks exercise; 'both' also runs "
-        "the array-vs-object comparison (which fails if the array kernel "
-        "is not faster)",
+        choices=("array", "object", "native", "both"),
+        help="Gibbs sweep engine the benchmarks exercise; 'native' runs "
+        "the JIT-lowered backend (falls back to array without numba); "
+        "'both' also runs the array-vs-object comparison (which fails if "
+        "the array kernel is not faster)",
     )
 
 
 @pytest.fixture(scope="session")
 def kernel_mode(request) -> str:
-    """The --kernel option: 'array', 'object', or 'both'."""
+    """The --kernel option: 'array', 'object', 'native', or 'both'."""
     return request.config.getoption("--kernel")
 
 

@@ -94,10 +94,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "results are identical at any worker count)",
     )
     inf.add_argument(
-        "--kernel", choices=["array", "object"], default="array",
+        "--kernel", choices=["array", "native", "object"], default="array",
         help="Gibbs sweep engine: 'array' (vectorized conflict-free "
-        "batches, the fast default) or 'object' (the per-move scalar "
-        "reference path)",
+        "batches, the fast default), 'native' (the array sweep with "
+        "JIT-compiled piecewise loops; falls back to 'array' when numba "
+        "is unavailable), or 'object' (the per-move scalar reference "
+        "path)",
+    )
+    inf.add_argument(
+        "--threads", type=int, default=1,
+        help="threads for the batch kernels' chunked evaluation "
+        "(results are bitwise identical at any thread count)",
     )
     inf.add_argument(
         "--shards", type=int, default=1,
@@ -160,6 +167,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "keeping them warm (the rebuild baseline; same results, slower)",
     )
     stream.add_argument(
+        "--kernel", choices=["array", "native", "object"], default="array",
+        help="sweep kernel for every window's E-step chains ('native' "
+        "falls back to 'array' when numba is unavailable)",
+    )
+    stream.add_argument(
+        "--threads", type=int, default=1,
+        help="threads for the batch kernels' chunked evaluation "
+        "(results are bitwise identical at any thread count)",
+    )
+    stream.add_argument(
         "--anomaly-threshold", type=float, default=4.0,
         help="robust z-score above which a window's rate shift is flagged",
     )
@@ -214,6 +231,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sharded sweeps per window (default: 1)")
     serve.add_argument("--shard-workers", type=int, default=None,
                        help="worker processes hosting the shard sweeps")
+    serve.add_argument(
+        "--kernel", choices=["array", "native", "object"], default=None,
+        help="sweep kernel for the window E-steps (default: array; "
+        "'native' falls back to 'array' when numba is unavailable)",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=None,
+        help="threads for the batch kernels' chunked evaluation "
+        "(default: 1; results are bitwise identical at any count)",
+    )
     serve.add_argument(
         "--lateness", type=float, default=None,
         help="grace interval behind the watermark within which measurements "
@@ -329,6 +356,16 @@ def _build_parser() -> argparse.ArgumentParser:
     route.add_argument("--shard-workers", type=int, default=None,
                        help="worker processes hosting each service's shards")
     route.add_argument(
+        "--kernel", choices=["array", "native", "object"], default="array",
+        help="sweep kernel for every service's window E-steps ('native' "
+        "falls back to 'array' when numba is unavailable)",
+    )
+    route.add_argument(
+        "--threads", type=int, default=1,
+        help="threads for the batch kernels' chunked evaluation, per "
+        "service (results are bitwise identical at any count)",
+    )
+    route.add_argument(
         "--lateness", type=float, default=0.0,
         help="grace interval behind the watermark within which measurements "
         "are still admitted; older ones are dropped as stragglers",
@@ -411,8 +448,13 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise SystemExit("--persistent-workers must be at least 1")
     if args.shards < 1:
         raise SystemExit("--shards must be at least 1")
-    if args.shards > 1 and args.kernel != "array":
-        raise SystemExit("--shards requires the array kernel (drop --kernel object)")
+    if args.shards > 1 and args.kernel not in ("array", "native"):
+        raise SystemExit(
+            "--shards requires the array kernel or its native lowering "
+            "(drop --kernel object)"
+        )
+    if args.threads < 1:
+        raise SystemExit("--threads must be at least 1")
     if args.persistent_workers and args.chains == 1:
         print(
             "note: --persistent-workers with a single chain moves the one "
@@ -423,6 +465,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         trace, n_iterations=args.iterations, random_state=args.seed,
         init_method="heuristic", n_chains=args.chains, kernel=args.kernel,
         persistent_workers=args.persistent_workers, shards=args.shards,
+        threads=args.threads,
     )
     print(f"\nestimated arrival rate lambda = {stem.arrival_rate:.4g}")
     if args.chains > 1:
@@ -467,6 +510,13 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 def _cmd_stream(args: argparse.Namespace) -> int:
     if args.shards < 1:
         raise SystemExit("--shards must be at least 1")
+    if args.shards > 1 and args.kernel not in ("array", "native"):
+        raise SystemExit(
+            "--shards requires the array kernel or its native lowering "
+            "(drop --kernel object)"
+        )
+    if args.threads < 1:
+        raise SystemExit("--threads must be at least 1")
     if args.shard_workers is not None and args.shard_workers < 1:
         raise SystemExit("--shard-workers must be at least 1")
     if args.shard_workers is not None and args.shards == 1:
@@ -507,6 +557,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         shard_workers=args.shard_workers,
         transport=transport,
         warm_workers=not args.cold,
+        kernel=args.kernel,
+        threads=args.threads,
     )
     windows = estimator.run()  # closes the pool and the owned transport
     rows = []
@@ -559,8 +611,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # even when the passed value equals the documented default.
         frozen = (
             "queues", "window", "step", "iterations", "min_observed",
-            "seed", "shards", "shard_workers", "lateness", "max_pending",
-            "retain",
+            "seed", "shards", "shard_workers", "kernel", "threads",
+            "lateness", "max_pending", "retain",
         )
         rejected = [
             "--" + name.replace("_", "-")
@@ -602,6 +654,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit("--shards must be at least 1")
         if args.shard_workers is not None and shards == 1:
             raise SystemExit("--shard-workers requires --shards > 1")
+        kernel = "array" if args.kernel is None else args.kernel
+        if shards > 1 and kernel not in ("array", "native"):
+            raise SystemExit(
+                "--shards requires the array kernel or its native lowering "
+                "(drop --kernel object)"
+            )
+        threads = 1 if args.threads is None else args.threads
+        if threads < 1:
+            raise SystemExit("--threads must be at least 1")
         stream = LiveTraceStream(
             n_queues=args.queues,
             lateness=0.0 if args.lateness is None else args.lateness,
@@ -621,6 +682,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             random_state=0 if args.seed is None else args.seed,
             shards=shards,
             shard_workers=args.shard_workers,
+            kernel=kernel,
+            threads=threads,
         )
         service = EstimatorService(
             estimator,
@@ -670,6 +733,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
         raise SystemExit("--shards must be at least 1")
     if args.shard_workers is not None and args.shards == 1:
         raise SystemExit("--shard-workers requires --shards > 1")
+    if args.shards > 1 and args.kernel not in ("array", "native"):
+        raise SystemExit(
+            "--shards requires the array kernel or its native lowering "
+            "(drop --kernel object)"
+        )
+    if args.threads < 1:
+        raise SystemExit("--threads must be at least 1")
     service_config = {
         "n_queues": args.queues,
         "window": args.window,
@@ -677,6 +747,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         "min_observed_tasks": args.min_observed,
         "random_state": args.seed,
         "shards": args.shards,
+        "kernel": args.kernel,
+        "threads": args.threads,
         "lateness": args.lateness,
         "max_pending": args.max_pending,
         "checkpoint_every": args.checkpoint_every,

@@ -63,11 +63,18 @@ from repro.inference.conditional import (
     final_departure_conditional_cached,
 )
 from repro.inference.kernel import ArraySweepKernel
+from repro.inference.native import make_sweep_kernel
 from repro.observation import ObservedTrace
 from repro.rng import RandomState, as_generator
 
-#: Sweep engines a :class:`GibbsSampler` can run on.
-KERNELS = ("array", "object")
+#: Sweep engines a :class:`GibbsSampler` can run on.  ``"native"`` is the
+#: array kernel with its batch evaluation lowered to numba-compiled loops
+#: (:mod:`repro.inference.native`); it degrades to the plain array path
+#: when numba is not installed.
+KERNELS = ("array", "native", "object")
+
+#: Kernels that run on the batched array engine (and its sharded form).
+BATCH_KERNELS = ("array", "native")
 
 
 @contextmanager
@@ -130,7 +137,12 @@ class GibbsSampler:
         stays sequential (batch concatenation order, shuffled per sweep
         when *shuffle* is set), so the draws are exact; the random stream
         differs from the object kernel, so results agree statistically,
-        not bitwise.  ``"object"`` is the reference per-move scalar path.
+        not bitwise.  ``"native"`` is the same engine with its batch
+        evaluation lowered to numba-compiled fused loops
+        (:class:`~repro.inference.native.NativeSweepKernel`; agrees with
+        the array kernel to 1e-10 per move, falls back to the numpy path
+        when numba is missing).  ``"object"`` is the reference per-move
+        scalar path.
     shards:
         With ``shards > 1`` the trace's tasks are partitioned into that
         many shards (:func:`~repro.inference.shard.partition_tasks`) and
@@ -141,8 +153,8 @@ class GibbsSampler:
         interior moves sweep on an independent array kernel.  Every move
         still draws from its exact full conditional, so the stitched
         chain targets the same posterior as an unsharded sweep;
-        ``shards=1`` is exactly the plain array kernel.  Requires
-        ``kernel="array"``.
+        ``shards=1`` is exactly the plain array kernel.  Requires a batch
+        kernel (``"array"`` or ``"native"``).
     shard_workers:
         Only with ``shards > 1``: fan the shard sweeps out over this many
         persistent worker processes that keep per-shard sub-traces
@@ -205,8 +217,11 @@ class GibbsSampler:
         self.kernel = kernel
         if shards < 1:
             raise InferenceError(f"need at least one shard, got {shards}")
-        if shards > 1 and kernel != "array":
-            raise InferenceError("sharded sweeps run on the array kernel only")
+        if shards > 1 and kernel not in BATCH_KERNELS:
+            raise InferenceError(
+                "sharded sweeps run on the array kernel only "
+                "(kernel='array' or its native lowering 'native')"
+            )
         if shard_workers is not None and shards == 1:
             raise InferenceError(
                 "shard_workers requires shards > 1; use persistent_workers to "
@@ -224,7 +239,7 @@ class GibbsSampler:
         self.threads = int(threads)
         # The array kernel is built on top of the blanket caches.
         self.cache_blankets = (
-            bool(cache_blankets) or bool(batch_draws) or kernel == "array"
+            bool(cache_blankets) or bool(batch_draws) or kernel in BATCH_KERNELS
         )
         self.batch_draws = bool(batch_draws)
         self._arrival_moves = trace.latent_arrival_events.copy()
@@ -250,6 +265,7 @@ class GibbsSampler:
                 n_shards=self.shards,
                 random_state=self.rng,
                 shuffle=self.shuffle,
+                kernel=self.kernel,
                 threads=self.threads,
                 workers=shard_workers,
                 partition=shard_partition,
@@ -308,10 +324,14 @@ class GibbsSampler:
         self._departure_cache = DepartureBlanketCache(
             self.state, self._departure_moves, self._rates
         )
-        if self.kernel == "array":
-            self._array_kernel = ArraySweepKernel(
-                self.state, self._arrival_cache, self._departure_cache, self._rates,
-                threads=self.threads,
+        if self.kernel in BATCH_KERNELS:
+            if self._array_kernel is not None:
+                # Release the superseded kernel's thread pool now instead
+                # of leaking it until GC happens to run.
+                self._array_kernel.close()
+            self._array_kernel = make_sweep_kernel(
+                self.kernel, self.state, self._arrival_cache,
+                self._departure_cache, self._rates, threads=self.threads,
             )
 
     def _fresh_caches(self) -> tuple[ArrivalBlanketCache, DepartureBlanketCache]:
@@ -330,7 +350,7 @@ class GibbsSampler:
         """Resample every latent variable once; returns move statistics."""
         if self._shard_engine is not None:
             stats = self._sweep_sharded()
-        elif self.kernel == "array":
+        elif self.kernel in BATCH_KERNELS:
             stats = self._sweep_array()
         elif self.cache_blankets:
             stats = self._sweep_cached()
@@ -383,9 +403,14 @@ class GibbsSampler:
             self._shard_engine.finish_workers(self.state)
 
     def close(self) -> None:
-        """Release any shard worker processes; idempotent."""
+        """Release shard worker processes and kernel thread pools; idempotent.
+
+        The sampler stays usable afterwards — a later threaded sweep
+        recreates its thread pool lazily."""
         if self._shard_engine is not None:
             self._shard_engine.close()
+        if self._array_kernel is not None:
+            self._array_kernel.close()
 
     def _sweep_reference(self) -> SweepStats:
         """The uncached sweep: derive every blanket from the event set."""

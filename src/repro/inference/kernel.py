@@ -481,6 +481,29 @@ class ArraySweepKernel:
         ]
         return [f.result() for f in futures]
 
+    def close(self) -> None:
+        """Shut down the lazily created thread pool (idempotent).
+
+        Without this, every kernel rebuild after an event-set structure
+        change would leak ``threads`` live threads for the life of the
+        process.  The kernel itself stays usable after ``close()`` — a
+        later threaded batch simply recreates the pool — so callers may
+        release threads whenever a kernel is replaced or parked (sampler
+        teardown, blanket-cache rebuilds, shard-worker recall).
+        """
+        executor = getattr(self, "_executor", None)
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __del__(self) -> None:
+        # Safety net for kernels dropped without an explicit close();
+        # never let teardown-order surprises surface at GC time.
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def __getstate__(self):
         # Executors cannot cross process boundaries; rebuild lazily.
         state = self.__dict__.copy()

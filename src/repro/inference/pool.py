@@ -83,6 +83,9 @@ class ChainRecipe:
     shuffle: bool
     kernel: str
     shards: int = 1
+    #: Threaded batch evaluation inside every array/native kernel the
+    #: chain builds (bitwise invariant to the thread count).
+    threads: int = 1
     #: Optional pre-computed task partition for the sharded engine (the
     #: streaming estimator's incremental re-partition path); ``None``
     #: lets the engine run :func:`~repro.inference.shard.partition_tasks`.
@@ -100,6 +103,7 @@ def chain_recipes(
     kernel: str = "array",
     shards: int = 1,
     partition=None,
+    threads: int = 1,
 ) -> list[ChainRecipe]:
     """One recipe per E-step chain, over-dispersed past chain 0.
 
@@ -123,6 +127,7 @@ def chain_recipes(
             kernel=kernel,
             shards=shards,
             partition=partition,
+            threads=threads,
         )
     ]
     if n_chains == 1:
@@ -143,6 +148,7 @@ def chain_recipes(
                 kernel=kernel,
                 shards=shards,
                 partition=partition,
+                threads=threads,
             )
         )
     return recipes
@@ -182,6 +188,7 @@ def build_chain_sampler(
         shard_partition=recipe.partition,
         shard_pool=shard_pool if recipe.shards > 1 else None,
         shard_transport=shard_transport if recipe.shards > 1 else None,
+        threads=recipe.threads,
     )
 
 

@@ -62,6 +62,7 @@ from repro.inference.conditional import (
     final_departure_conditional_cached,
 )
 from repro.inference.kernel import ArraySweepKernel
+from repro.inference.native import make_sweep_kernel
 from repro.inference.pool import PersistentWorkerPool
 from repro.inference.transport import WorkerTransport
 from repro.observation import ObservedTrace
@@ -532,6 +533,10 @@ class ShardResident:
     rng: np.random.Generator
     shuffle: bool
     threads: int
+    #: Batch sweep engine for the shard's interior moves: ``"array"`` or
+    #: its compiled lowering ``"native"`` (default keeps old pickles and
+    #: call sites working).
+    kernel: str = "array"
 
 
 def _validate_rates(rates: np.ndarray, n_queues: int) -> np.ndarray:
@@ -560,11 +565,11 @@ def _own_service_totals(
 
 
 def _build_resident(r: ShardResident):
-    """Build one shard's worker-side unit: caches plus the array kernel."""
+    """Build one shard's worker-side unit: caches plus the batch kernel."""
     acache = ArrivalBlanketCache(r.sub_state, r.interior_arrivals, r.rates)
     dcache = DepartureBlanketCache(r.sub_state, r.interior_departures, r.rates)
-    kernel = ArraySweepKernel(
-        r.sub_state, acache, dcache, r.rates, threads=r.threads
+    kernel = make_sweep_kernel(
+        r.kernel, r.sub_state, acache, dcache, r.rates, threads=r.threads
     )
     return (r, kernel, acache, dcache)
 
@@ -580,7 +585,7 @@ def same_shard_structure(a: ShardResident, b: ShardResident) -> bool:
     window's time arrays and random stream, producing bitwise the draws a
     cold rebuild would.
     """
-    if a.shuffle != b.shuffle or a.threads != b.threads:
+    if a.shuffle != b.shuffle or a.threads != b.threads or a.kernel != b.kernel:
         return False
     sa, sb = a.sub_state, b.sub_state
     if sa.n_events != sb.n_events or sa.n_queues != sb.n_queues:
@@ -680,7 +685,12 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
                 for shard, payload in updates.items():
                     kind = payload[0]
                     if kind == "resident":
+                        superseded = built.get(shard)
                         built[shard] = _build_resident(payload[1])
+                        if superseded is not None:
+                            # The replaced kernel's thread pool must not
+                            # outlive it — rebuilds used to leak threads.
+                            superseded[1].close()
                     elif kind == "times":
                         r = built[shard][0]
                         _, arr, dep, rng = payload
@@ -690,7 +700,9 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
                         r.sub_state.departure[:] = dep
                         r.rng = rng
                     else:  # "drop"
-                        built.pop(shard, None)
+                        dropped = built.pop(shard, None)
+                        if dropped is not None:
+                            dropped[1].close()
                     out[shard] = kind
                 conn.send(("ok", out))
             elif cmd in ("finish", "recall"):
@@ -705,6 +717,11 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
                 conn.send(("ok", out))
                 if cmd == "finish":
                     return
+                # Recalled residents may idle until the next window's
+                # adopt; park their kernels' thread pools (the kernels
+                # stay built — a later sweep respawns threads lazily).
+                for unit in built.values():
+                    unit[1].close()
             else:  # "close"
                 return
     except BaseException as exc:  # noqa: BLE001 — must cross the pipe
@@ -713,6 +730,8 @@ def _shard_worker_main(conn, residents: list[ShardResident]) -> None:
         except OSError:
             pass
     finally:
+        for unit in built.values():
+            unit[1].close()
         conn.close()
 
 
@@ -875,6 +894,14 @@ class ShardedSweepEngine:
         Seed material for the boundary stream and the per-shard streams
         (spawned, never drawn from).  Unused when the effective shard
         count is 1.
+    kernel:
+        Batch kernel for every shard's interior sweep: ``"array"``
+        (default) or its JIT-compiled lowering ``"native"`` (see
+        :mod:`repro.inference.native`); shipped to workers with each
+        resident.
+    threads:
+        Thread count for every shard kernel's batch evaluation; draws
+        are bitwise invariant to it.
     workers:
         ``None`` runs shards in-process; a positive count attaches a
         :class:`ShardWorkerPool` over that many processes.
@@ -898,6 +925,7 @@ class ShardedSweepEngine:
         n_shards: int,
         random_state: RandomState = None,
         shuffle: bool = True,
+        kernel: str = "array",
         threads: int = 1,
         workers: int | None = None,
         partition: TaskPartition | None = None,
@@ -906,6 +934,7 @@ class ShardedSweepEngine:
     ) -> None:
         self.trace = trace
         self.shuffle = bool(shuffle)
+        self.kernel = str(kernel)
         self.threads = int(threads)
         self._rates = np.asarray(rates, dtype=float).copy()
         if partition is None:
@@ -961,12 +990,16 @@ class ShardedSweepEngine:
         )
         self._ba_slots = np.arange(plan.boundary_arrivals.size)
         self._bd_slots = np.arange(plan.boundary_departures.size)
+        old = getattr(self, "_kernels", None)
+        if old is not None:
+            for kernel in old:
+                kernel.close()
         self._kernels: list[ArraySweepKernel] | None = None
         if build_kernels:
             self._build_shard_kernels(state)
 
     def _build_shard_kernels(self, state: EventSet) -> None:
-        """Per-shard restricted caches + array kernels (in-process sweeps)."""
+        """Per-shard restricted caches + batch kernels (in-process sweeps)."""
         plan = self.plan
         self._kernels = []
         for s in range(self.n_shards):
@@ -977,8 +1010,9 @@ class ShardedSweepEngine:
                 state, plan.interior_departures[s], self._rates
             )
             self._kernels.append(
-                ArraySweepKernel(
-                    state, acache, dcache, self._rates, threads=self.threads
+                make_sweep_kernel(
+                    self.kernel, state, acache, dcache, self._rates,
+                    threads=self.threads,
                 )
             )
 
@@ -1025,6 +1059,7 @@ class ShardedSweepEngine:
                     rng=self._shard_rngs[s],
                     shuffle=self.shuffle,
                     threads=self.threads,
+                    kernel=self.kernel,
                 )
             )
         # The masters' copies of the shard streams go stale the moment the
@@ -1265,9 +1300,15 @@ class ShardedSweepEngine:
         """Drop any attached workers without syncing state; idempotent.
 
         Never closes an externally owned warm pool — its owner decides
-        when the cross-window workers die.
+        when the cross-window workers die.  In-process shard kernels shut
+        down their thread pools so repeated engine rebuilds cannot leak
+        executor threads.
         """
         if self._pool is not None:
             if self._owns_pool:
                 self._pool.close()
             self._pool = None
+        kernels = getattr(self, "_kernels", None)
+        if kernels is not None:
+            for kernel in kernels:
+                kernel.close()

@@ -98,6 +98,7 @@ def run_stem(
     shard_pool=None,
     shard_partition=None,
     shard_transport=None,
+    threads: int = 1,
 ) -> StEMResult:
     """Estimate ``lambda`` and all ``mu_q`` from an incomplete trace.
 
@@ -169,6 +170,10 @@ def run_stem(
         ``persistent_workers``-with-``shards`` path (see
         :mod:`repro.inference.transport`); pipes by default.  An external
         ``shard_pool`` carries its own transport instead.
+    threads:
+        Threaded batch evaluation inside every chain's array/native sweep
+        kernel (see :class:`~repro.inference.gibbs.GibbsSampler`); draws
+        are bitwise invariant to the thread count.
     """
     if n_iterations < 1:
         raise InferenceError(f"need at least one iteration, got {n_iterations}")
@@ -203,7 +208,7 @@ def run_stem(
     )
     recipes = chain_recipes(
         trace, rates, init_method, n_chains, jitter, random_state, shuffle, kernel,
-        shards=shards, partition=shard_partition,
+        shards=shards, partition=shard_partition, threads=threads,
     )
     counts = trace.skeleton.events_per_queue().astype(float)
     history = np.empty((n_iterations + 1, trace.skeleton.n_queues))

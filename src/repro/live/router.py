@@ -72,6 +72,7 @@ _STREAM_KEYS = ("lateness", "max_pending", "retain")
 _ESTIMATOR_KEYS = (
     "window", "step", "stem_iterations", "min_observed_tasks",
     "shards", "shard_workers", "repartition", "warm_workers",
+    "kernel", "threads",
 )
 
 #: Service-construction keys accepted in a router ``service_config``.

@@ -40,6 +40,7 @@ import numpy as np
 from repro.errors import InferenceError
 from repro.events.subset import SubsetIndex, subset_trace
 from repro.inference import run_stem
+from repro.inference.gibbs import KERNELS
 from repro.inference.shard import (
     WarmShardWorkerPool,
     partition_tasks,
@@ -214,6 +215,14 @@ class StreamingEstimator:
         warm-shard reuse; ``"cold"`` re-partitions every window from
         scratch, which keeps every window bitwise equal to the windowed
         estimator (the equivalence-test mode).
+    kernel:
+        Sweep kernel for every window's E-step chains (see
+        :class:`~repro.inference.gibbs.GibbsSampler`): ``"array"``
+        (default), its JIT-compiled lowering ``"native"``, or
+        ``"object"``.
+    threads:
+        Thread count for the batch kernels' chunked evaluation; draws
+        are bitwise invariant to it.
     """
 
     def __init__(
@@ -229,8 +238,16 @@ class StreamingEstimator:
         transport: WorkerTransport | None = None,
         repartition: str = "incremental",
         warm_workers: bool = True,
+        kernel: str = "array",
+        threads: int = 1,
     ) -> None:
         validate_window_params(window, step, stem_iterations, shards)
+        if kernel not in KERNELS:
+            raise InferenceError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}"
+            )
+        if threads < 1:
+            raise InferenceError(f"need at least one thread, got {threads}")
         if shard_workers is not None and shard_workers < 1:
             raise InferenceError(
                 f"need at least one shard worker, got {shard_workers}"
@@ -255,6 +272,8 @@ class StreamingEstimator:
         self.transport = transport
         self.repartition = repartition
         self.warm_workers = bool(warm_workers)
+        self.kernel = str(kernel)
+        self.threads = int(threads)
         # One child per window, spawned lazily from the same sequence the
         # windowed estimator spawns up front — identical streams without
         # knowing the window count in advance.
@@ -354,6 +373,8 @@ class StreamingEstimator:
                 "shard_workers": self.shard_workers,
                 "repartition": self.repartition,
                 "warm_workers": self.warm_workers,
+                "kernel": self.kernel,
+                "threads": self.threads,
             },
             "seed": {
                 "entropy": self._seed_seq.entropy,
@@ -375,7 +396,11 @@ class StreamingEstimator:
         stream must be positioned where the snapshot left it (the live
         stream's own snapshot carries that).
         """
-        config = state["config"]
+        # Older checkpoints predate the kernel/threads knobs; they were
+        # captured under the implicit defaults, so restore them as such.
+        config = dict(state["config"])
+        config.setdefault("kernel", "array")
+        config.setdefault("threads", 1)
         mine = self.state_dict()["config"]
         if config != mine:
             raise InferenceError(
@@ -520,11 +545,13 @@ class StreamingEstimator:
                     # seed child and the window inputs, so a retried
                     # window is bitwise the uninterrupted window.
                     random_state=as_generator(self._attempt_seed(window_seed)),
+                    kernel=self.kernel,
                     shards=self.shards,
                     shard_partition=partition,
                     shard_pool=pool,
                     persistent_workers=cold_workers,
                     shard_transport=self.transport if cold_workers else None,
+                    threads=self.threads,
                 )
                 rates = stem.rates
             except InferenceError as exc:

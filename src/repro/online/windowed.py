@@ -124,6 +124,11 @@ class WindowedEstimator:
         :func:`~repro.inference.stem.run_stem`); the shard count is
         clamped to each window's task count, so small windows fall back
         to the plain kernel automatically.
+    kernel / threads:
+        Sweep kernel and batch-evaluation thread count for every
+        window's E-step chains (see
+        :class:`~repro.inference.gibbs.GibbsSampler`); neither changes
+        a draw.
     """
 
     def __init__(
@@ -135,6 +140,8 @@ class WindowedEstimator:
         min_observed_tasks: int = 3,
         random_state: RandomState = None,
         shards: int = 1,
+        kernel: str = "array",
+        threads: int = 1,
     ) -> None:
         validate_window_params(window, step, stem_iterations, shards)
         self.trace = trace
@@ -144,6 +151,8 @@ class WindowedEstimator:
         self.min_observed_tasks = int(min_observed_tasks)
         self._random_state = random_state
         self.shards = int(shards)
+        self.kernel = str(kernel)
+        self.threads = int(threads)
         self._entries = _entry_time_estimates(trace)
         self._subset_index = SubsetIndex(trace.skeleton)
 
@@ -179,7 +188,9 @@ class WindowedEstimator:
                     n_iterations=self.stem_iterations,
                     init_method="heuristic",
                     random_state=stream,
+                    kernel=self.kernel,
                     shards=self.shards,
+                    threads=self.threads,
                 )
                 rates = stem.rates
             except InferenceError as exc:

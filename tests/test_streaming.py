@@ -338,6 +338,59 @@ class TestStreamingLifecycle:
             StreamingEstimator(stream, window=1.0, shards=2, shard_workers=0)
         with pytest.raises(InferenceError):
             StreamingEstimator(stream, window=1.0, repartition="sometimes")
+        with pytest.raises(InferenceError, match="kernel"):
+            StreamingEstimator(stream, window=1.0, kernel="simd")
+        with pytest.raises(InferenceError, match="thread"):
+            StreamingEstimator(stream, window=1.0, threads=0)
+
+    def test_kernel_and_threads_do_not_change_estimates(self):
+        """kernel='native'/threads=2 windows agree with the defaults
+        (bitwise when native falls back; threads are always bitwise)."""
+        from repro.inference.native import NUMBA_AVAILABLE
+
+        trace, horizon = make_trace(n_tasks=150)
+        ref = StreamingEstimator(
+            ReplayTraceStream(trace), window=horizon / 2, stem_iterations=5,
+            random_state=7,
+        ).run()
+        got = StreamingEstimator(
+            ReplayTraceStream(trace), window=horizon / 2, stem_iterations=5,
+            random_state=7, kernel="native", threads=2,
+        ).run()
+        if not NUMBA_AVAILABLE:
+            assert_windows_equal(ref, got)
+        else:
+            for a, b in zip(ref, got):
+                if a.rates is not None:
+                    np.testing.assert_allclose(b.rates, a.rates, rtol=1e-6)
+
+    def test_checkpoint_restores_across_kernel_config_versions(self):
+        """A pre-kernel/threads checkpoint (v1 config) restores into a
+        default-configured estimator; an explicit non-default kernel
+        still refuses a default checkpoint."""
+        trace, horizon = make_trace(n_tasks=120)
+        est = StreamingEstimator(
+            ReplayTraceStream(trace), window=horizon, stem_iterations=5,
+            random_state=3,
+        )
+        state = est.state_dict()
+        assert state["config"]["kernel"] == "array"
+        assert state["config"]["threads"] == 1
+        # Strip the new keys to emulate a checkpoint from before they
+        # existed: defaults must be assumed, not a mismatch raised.
+        del state["config"]["kernel"]
+        del state["config"]["threads"]
+        fresh = StreamingEstimator(
+            ReplayTraceStream(trace), window=horizon, stem_iterations=5,
+            random_state=3,
+        )
+        fresh.load_state_dict(state)
+        mismatched = StreamingEstimator(
+            ReplayTraceStream(trace), window=horizon, stem_iterations=5,
+            random_state=3, threads=2,
+        )
+        with pytest.raises(InferenceError, match="captured under config"):
+            mismatched.load_state_dict(state)
 
     def test_warm_pool_reuse_across_runs_is_transparent(self):
         """Adoption diffs survive a recall: a second pass over the same

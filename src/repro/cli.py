@@ -50,7 +50,7 @@ from repro.inference.transport import PipeTransport, SocketTransport
 from repro.localization import rank_bottlenecks, render_report
 from repro.network import build_tandem_network, build_three_tier_network
 from repro.observation import TaskSampling
-from repro.online import ReplayTraceStream, StreamingEstimator, detect_anomalies
+from repro.online import ReplayTraceStream, detect_anomalies
 from repro.simulate import simulate_network
 from repro.webapp import WebAppConfig, generate_webapp_trace
 
@@ -122,9 +122,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "any worker count)",
     )
 
+    def _add_estimator_flags(p, sentinel: bool = False) -> None:
+        # One flag block shared by stream/serve/route.  With
+        # sentinel=True every default is None so the serve --restore
+        # branch can tell "explicitly passed" from "defaulted"; real
+        # defaults are the EstimatorConfig dataclass defaults, applied
+        # at construction time.
+        d = (lambda v: None) if sentinel else (lambda v: v)
+        p.add_argument(
+            "--estimator", choices=["stem", "smc"], default=d("stem"),
+            help="estimator flavor: 'stem' reruns windowed StEM per window "
+            "(default); 'smc' advances a particle population per poll "
+            "batch with ESS-triggered Gibbs rejuvenation — O(arrivals) "
+            "between triggers, the win under heavy window overlap",
+        )
+        p.add_argument(
+            "--particles", type=int, default=d(16),
+            help="SMC particle count (default: 16; --estimator smc only)",
+        )
+        p.add_argument(
+            "--ess-threshold", type=float, default=d(0.5),
+            help="resample + rejuvenate when the effective sample size "
+            "falls below this fraction of the particle count "
+            "(default: 0.5; --estimator smc only)",
+        )
+        p.add_argument(
+            "--rejuvenation-sweeps", type=int, default=d(1),
+            help="Gibbs sweeps per particle per rejuvenation trigger "
+            "(default: 1; --estimator smc only)",
+        )
+        p.add_argument(
+            "--worker-retries", type=int, default=d(1),
+            help="times a window whose shard worker pool died is re-run "
+            "on a relaunched pool before its failure is recorded as data "
+            "(default: 1)",
+        )
+
     stream = sub.add_parser(
         "stream",
-        help="sliding-window StEM over a replayed trace with warm shard workers",
+        help="sliding-window estimation over a replayed trace "
+        "(StEM with warm shard workers, or the SMC particle filter)",
     )
     stream.add_argument("trace", help="JSONL trace written by `simulate`")
     stream.add_argument(
@@ -180,6 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--anomaly-threshold", type=float, default=4.0,
         help="robust z-score above which a window's rate shift is flagged",
     )
+    _add_estimator_flags(stream)
 
     serve = sub.add_parser(
         "serve",
@@ -270,6 +308,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--anomaly-threshold", type=float, default=None,
                        help="robust z-score flagging threshold (default: 4)")
+    _add_estimator_flags(serve, sentinel=True)
 
     ing = sub.add_parser(
         "ingest",
@@ -401,6 +440,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument("--anomaly-threshold", type=float, default=4.0,
                        help="robust z-score flagging threshold")
+    _add_estimator_flags(route)
 
     exp = sub.add_parser("experiment", help="run a reduced-scale paper experiment")
     exp.add_argument("which", choices=["fig4", "fig5", "variance"])
@@ -507,6 +547,63 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI flag attribute -> EstimatorConfig field, for the flag block shared
+#: by stream/serve/route.  Flags a subcommand lacks, or left at a None
+#: sentinel, fall back to the dataclass defaults.
+_ESTIMATOR_FLAG_FIELDS = (
+    ("step", "step"),
+    ("iterations", "stem_iterations"),
+    ("min_observed", "min_observed_tasks"),
+    ("shards", "shards"),
+    ("shard_workers", "shard_workers"),
+    ("kernel", "kernel"),
+    ("threads", "threads"),
+    ("worker_retries", "worker_retries"),
+    ("particles", "n_particles"),
+    ("ess_threshold", "ess_threshold"),
+    ("rejuvenation_sweeps", "rejuvenation_sweeps"),
+)
+
+
+def _estimator_config_from_args(args, window, **overrides):
+    from repro.errors import InferenceError
+    from repro.online import EstimatorConfig
+
+    kwargs = {"window": window}
+    for attr, field in _ESTIMATOR_FLAG_FIELDS:
+        value = getattr(args, attr, None)
+        if value is not None:
+            kwargs[field] = value
+    kwargs.update(overrides)
+    try:
+        return EstimatorConfig(**kwargs)
+    except InferenceError as exc:
+        raise SystemExit(str(exc))
+
+
+def _build_estimator(name, stream, *, random_state, config, transport=None):
+    from repro.errors import InferenceError
+    from repro.online import get_estimator
+
+    try:
+        return get_estimator(name)(
+            stream,
+            random_state=random_state,
+            transport=transport,
+            config=config,
+        )
+    except InferenceError as exc:
+        raise SystemExit(str(exc))
+
+
+def _reject_smc_sharding(estimator, shards, shard_workers):
+    if estimator == "smc" and (shards > 1 or shard_workers is not None):
+        raise SystemExit(
+            "--estimator smc rejuvenates every particle in-process; "
+            "drop --shards/--shard-workers"
+        )
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     if args.shards < 1:
         raise SystemExit("--shards must be at least 1")
@@ -539,6 +636,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit("--windows must be at least 1")
     if args.iterations < 1:
         raise SystemExit("--iterations must be at least 1")
+    _reject_smc_sharding(args.estimator, args.shards, args.shard_workers)
     events = load_jsonl(args.trace)
     trace = TaskSampling(fraction=args.observe).observe(events, random_state=args.seed)
     print(trace.summary())
@@ -547,18 +645,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         args.window if args.window is not None else source.horizon / args.windows
     )
     transport = SocketTransport() if args.transport == "socket" else PipeTransport()
-    estimator = StreamingEstimator(
-        source,
-        window=window,
-        step=args.step,
-        stem_iterations=args.iterations,
-        random_state=args.seed,
-        shards=args.shards,
-        shard_workers=args.shard_workers,
-        transport=transport,
-        warm_workers=not args.cold,
-        kernel=args.kernel,
-        threads=args.threads,
+    config = _estimator_config_from_args(args, window, warm_workers=not args.cold)
+    estimator = _build_estimator(
+        args.estimator, source,
+        random_state=args.seed, config=config, transport=transport,
     )
     windows = estimator.run()  # closes the pool and the owned transport
     rows = []
@@ -601,7 +691,6 @@ def _authkey(value: str | None) -> bytes:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import IngestError
     from repro.live import EstimatorService, LiveServer, LiveTraceStream
-    from repro.online import StreamingEstimator
 
     if args.restore is not None:
         # Resuming replays the checkpoint's exact configuration; accepting
@@ -612,7 +701,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         frozen = (
             "queues", "window", "step", "iterations", "min_observed",
             "seed", "shards", "shard_workers", "kernel", "threads",
-            "lateness", "max_pending", "retain",
+            "lateness", "max_pending", "retain", "estimator", "particles",
+            "ess_threshold", "rejuvenation_sweeps", "worker_retries",
         )
         rejected = [
             "--" + name.replace("_", "-")
@@ -663,6 +753,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threads = 1 if args.threads is None else args.threads
         if threads < 1:
             raise SystemExit("--threads must be at least 1")
+        estimator_name = "stem" if args.estimator is None else args.estimator
+        _reject_smc_sharding(estimator_name, shards, args.shard_workers)
         stream = LiveTraceStream(
             n_queues=args.queues,
             lateness=0.0 if args.lateness is None else args.lateness,
@@ -671,19 +763,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             retain=args.retain,
         )
-        estimator = StreamingEstimator(
-            stream,
-            window=args.window,
-            step=args.step,
+        # The serve parser keeps its historical default of 30 StEM
+        # iterations; every other None sentinel falls back to the
+        # EstimatorConfig dataclass defaults.
+        config = _estimator_config_from_args(
+            args, args.window,
             stem_iterations=30 if args.iterations is None else args.iterations,
-            min_observed_tasks=(
-                3 if args.min_observed is None else args.min_observed
-            ),
+        )
+        estimator = _build_estimator(
+            estimator_name, stream,
             random_state=0 if args.seed is None else args.seed,
-            shards=shards,
-            shard_workers=args.shard_workers,
-            kernel=kernel,
-            threads=threads,
+            config=config,
         )
         service = EstimatorService(
             estimator,
@@ -740,15 +830,21 @@ def _cmd_route(args: argparse.Namespace) -> int:
         )
     if args.threads < 1:
         raise SystemExit("--threads must be at least 1")
+    _reject_smc_sharding(args.estimator, args.shards, args.shard_workers)
     service_config = {
         "n_queues": args.queues,
         "window": args.window,
+        "estimator": args.estimator,
         "stem_iterations": args.iterations,
         "min_observed_tasks": args.min_observed,
         "random_state": args.seed,
         "shards": args.shards,
         "kernel": args.kernel,
         "threads": args.threads,
+        "worker_retries": args.worker_retries,
+        "n_particles": args.particles,
+        "ess_threshold": args.ess_threshold,
+        "rejuvenation_sweeps": args.rejuvenation_sweeps,
         "lateness": args.lateness,
         "max_pending": args.max_pending,
         "checkpoint_every": args.checkpoint_every,

@@ -307,6 +307,53 @@ class GibbsSampler:
         """Number of latent scalars resampled per sweep."""
         return self._arrival_moves.size + self._departure_moves.size
 
+    def reseed(self, random_state) -> None:
+        """Swap the sampler's random stream (per-particle kernel reuse).
+
+        An SMC rejuvenation pass runs a few sweeps for *every* particle
+        of a population over the same window trace.  Building a sampler
+        (and its blanket caches and batch kernel) per particle would
+        dominate the cost, so the particle loop builds one sampler and,
+        per particle, reseeds it, loads that particle's times
+        (:meth:`load_times`), and sets its rates.  Only unsharded
+        samplers can be reseeded — a sharded engine has already derived
+        per-shard streams from the original seed material.
+        """
+        if self._shard_engine is not None:
+            raise InferenceError(
+                "a sharded sampler's workers hold derived streams; "
+                "reseed is only supported for unsharded samplers"
+            )
+        self.rng = as_generator(random_state)
+
+    def load_times(self, arrival: np.ndarray, departure: np.ndarray) -> None:
+        """Overwrite the resident state's time columns in place.
+
+        The companion of :meth:`reseed`: swaps which particle's latent
+        times the shared sampler is sweeping.  Times-only writes are
+        exactly what the sweep kernels themselves perform (the blanket
+        caches and conflict-free batches key on the event-set
+        *structure*, which time moves never touch), so the built caches
+        stay valid.  Both arrays must come from a state with identical
+        structure — e.g. copies of one initialized state's columns.
+        """
+        if self._shard_engine is not None:
+            raise InferenceError(
+                "shard workers hold their interior times remotely; "
+                "load_times is only supported for unsharded samplers"
+            )
+        arrival = np.asarray(arrival, dtype=float)
+        departure = np.asarray(departure, dtype=float)
+        state = self.state
+        if arrival.shape != state.arrival.shape or departure.shape != state.departure.shape:
+            raise InferenceError(
+                "time arrays do not match the resident state's shape"
+            )
+        if np.any(np.isnan(arrival)) or np.any(np.isnan(departure)):
+            raise InferenceError("loaded times contain nan")
+        state.arrival[:] = arrival
+        state.departure[:] = departure
+
     # ------------------------------------------------------------------
     # Blanket cache maintenance.
     # ------------------------------------------------------------------

@@ -54,26 +54,34 @@ import threading
 import time
 from collections import deque
 
+import inspect
+
 from repro.errors import IngestError, ReproError
 from repro.live.server import DEFAULT_AUTHKEY, LiveClient, LiveServer
 from repro.live.service import EstimatorService
 from repro.live.stream import LiveTraceStream
-from repro.online.streaming import StreamingEstimator
+from repro.online import EstimatorConfig, estimator_config_keys, get_estimator
 from repro.rng import as_seed_sequence
 
 #: Entry slots per stripe block (see module docstring).  Tasks entering
 #: within one block stay together on one partition.
 DEFAULT_BLOCK = 32
 
-#: Stream-construction keys accepted in a router ``service_config``.
-_STREAM_KEYS = ("lateness", "max_pending", "retain")
 
-#: Estimator-construction keys accepted in a router ``service_config``.
-_ESTIMATOR_KEYS = (
-    "window", "step", "stem_iterations", "min_observed_tasks",
-    "shards", "shard_workers", "repartition", "warm_workers",
-    "kernel", "threads",
-)
+def _stream_keys() -> tuple[str, ...]:
+    """Stream-construction keys accepted in a router ``service_config``.
+
+    Derived from :class:`~repro.live.stream.LiveTraceStream`'s own
+    signature (everything but ``n_queues``, which the router requires
+    explicitly) — a new stream knob is routable without touching this
+    module.  Estimator keys come from
+    :func:`~repro.online.config.estimator_config_keys` the same way.
+    """
+    params = inspect.signature(LiveTraceStream.__init__).parameters
+    return tuple(
+        name for name in params if name not in ("self", "n_queues")
+    )
+
 
 #: Service-construction keys accepted in a router ``service_config``.
 _SERVICE_KEYS = ("checkpoint_every", "poll_interval", "anomaly_threshold")
@@ -121,12 +129,13 @@ def _partition_service_main(config, checkpoint_path, restore, authkey, conn):
         else:
             stream = LiveTraceStream(
                 n_queues=config["n_queues"],
-                **{k: config[k] for k in _STREAM_KEYS if k in config},
+                **{k: config[k] for k in _stream_keys() if k in config},
             )
-            estimator = StreamingEstimator(
+            estimator_cls = get_estimator(config.get("estimator", "stem"))
+            estimator = estimator_cls(
                 stream,
                 random_state=config.get("random_state"),
-                **{k: config[k] for k in _ESTIMATOR_KEYS if k in config},
+                config=EstimatorConfig.from_mapping(config),
             )
             service = EstimatorService(
                 estimator,
@@ -314,13 +323,15 @@ class IngestRouter:
             if key not in service_config:
                 raise IngestError(f"service_config must provide {key!r}")
         unknown = set(service_config) - {
-            "n_queues", "random_state",
-            *_STREAM_KEYS, *_ESTIMATOR_KEYS, *_SERVICE_KEYS,
+            "n_queues", "random_state", "estimator",
+            *_stream_keys(), *estimator_config_keys(), *_SERVICE_KEYS,
         }
         if unknown:
             raise IngestError(
                 f"unknown service_config keys: {sorted(unknown)}"
             )
+        if "estimator" in service_config:
+            get_estimator(service_config["estimator"])  # validate eagerly
         self.n_partitions = int(n_partitions)
         self.block = int(block)
         self.checkpoint_dir = checkpoint_dir

@@ -42,8 +42,9 @@ from dataclasses import replace
 
 from repro.errors import IngestError
 from repro.live.stream import LiveTraceStream
+from repro.online import EstimatorConfig, StreamEstimatorProtocol, get_estimator
 from repro.online.anomaly import detect_anomalies
-from repro.online.streaming import StreamEstimate, StreamingEstimator
+from repro.online.streaming import StreamEstimate
 from repro.online.windowed import WindowEstimate
 
 #: Service lifecycle states reported by :meth:`EstimatorService.health`.
@@ -75,13 +76,18 @@ def estimate_to_record(estimate: WindowEstimate, index: int) -> dict:
 
 
 class EstimatorService:
-    """Supervise a :class:`~repro.online.streaming.StreamingEstimator`
-    over a live stream and publish its window estimates.
+    """Supervise a stream estimator over a live stream and publish its
+    window estimates.
 
     Parameters
     ----------
     estimator:
-        The streaming estimator to drive; its ``stream`` is normally a
+        The estimator to drive — anything satisfying
+        :class:`~repro.online.StreamEstimatorProtocol` (the registered
+        flavors are StEM's
+        :class:`~repro.online.streaming.StreamingEstimator` and the
+        particle filter's :class:`~repro.online.smc.SMCEstimator`; the
+        service never branches on which).  Its ``stream`` is normally a
         :class:`~repro.live.stream.LiveTraceStream` (anything satisfying
         the :class:`~repro.online.streaming.TraceStream` contract works —
         a replay source just finishes immediately after a seal-equivalent
@@ -100,7 +106,7 @@ class EstimatorService:
 
     def __init__(
         self,
-        estimator: StreamingEstimator,
+        estimator: StreamEstimatorProtocol,
         checkpoint_path: str | None = None,
         checkpoint_every: int = 1,
         poll_interval: float = 0.25,
@@ -532,8 +538,15 @@ class EstimatorService:
             )
         stream = LiveTraceStream.from_state(snapshot["stream"])
         est_state = snapshot["estimator"]
-        estimator = StreamingEstimator(
-            stream, transport=transport, **est_state["config"]
+        # Dispatch on the estimator name the checkpoint carries (older
+        # snapshots predate the registry and were always StEM); the
+        # config mapping may be any checkpoint version — EstimatorConfig
+        # fills fields the capturing build did not have yet.
+        estimator_cls = get_estimator(est_state.get("estimator", "stem"))
+        estimator = estimator_cls(
+            stream,
+            transport=transport,
+            config=EstimatorConfig.from_state(est_state["config"]),
         )
         estimator.load_state_dict(est_state)
         options = dict(snapshot["service"])

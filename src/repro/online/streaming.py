@@ -40,7 +40,6 @@ import numpy as np
 from repro.errors import InferenceError
 from repro.events.subset import SubsetIndex, subset_trace
 from repro.inference import run_stem
-from repro.inference.gibbs import KERNELS
 from repro.inference.shard import (
     WarmShardWorkerPool,
     partition_tasks,
@@ -48,16 +47,16 @@ from repro.inference.shard import (
 )
 from repro.inference.transport import WorkerTransport
 from repro.observation import ObservedTrace
+
+# Re-exported for backward compatibility (REPARTITION_MODES lived here
+# before the config extraction).
+from repro.online.config import REPARTITION_MODES, EstimatorConfig
 from repro.online.windowed import (
     WindowEstimate,
     _entry_time_estimates,
     task_fully_observed,
-    validate_window_params,
 )
 from repro.rng import RandomState, as_generator, as_seed_sequence
-
-#: Re-partitioning policies of :class:`StreamingEstimator`.
-REPARTITION_MODES = ("incremental", "cold")
 
 
 class TraceStream:
@@ -223,12 +222,28 @@ class StreamingEstimator:
     threads:
         Thread count for the batch kernels' chunked evaluation; draws
         are bitwise invariant to it.
+    worker_retries:
+        How many times a window whose worker pool died under it (a
+        killed or crashed worker process) is re-run on a relaunched pool
+        before its failure is recorded as data.  Operational policy, not
+        statistical state: a retried window re-derives its draws from
+        the same per-window seed child, so the estimate is bitwise what
+        an uninterrupted run would have published.
+    config:
+        The one-argument spelling: a prebuilt
+        :class:`~repro.online.config.EstimatorConfig` instead of the
+        individual knobs above.  Mutually exclusive with ``window``;
+        ``stream``/``random_state``/``transport`` stay separate because
+        they are runtime substrate, not configuration.
     """
+
+    #: Registry name carried in checkpoints (see ``repro.online.ESTIMATORS``).
+    estimator_name = "stem"
 
     def __init__(
         self,
         stream: TraceStream,
-        window: float,
+        window: float | None = None,
         step: float | None = None,
         stem_iterations: int = 40,
         min_observed_tasks: int = 3,
@@ -240,40 +255,43 @@ class StreamingEstimator:
         warm_workers: bool = True,
         kernel: str = "array",
         threads: int = 1,
+        worker_retries: int = 1,
+        n_particles: int = 16,
+        ess_threshold: float = 0.5,
+        rejuvenation_sweeps: int = 1,
+        config: EstimatorConfig | None = None,
     ) -> None:
-        validate_window_params(window, step, stem_iterations, shards)
-        if kernel not in KERNELS:
-            raise InferenceError(
-                f"kernel must be one of {KERNELS}, got {kernel!r}"
+        if config is not None:
+            if window is not None:
+                raise InferenceError(
+                    "pass either config= or the individual knobs, not both"
+                )
+        elif window is None:
+            raise InferenceError("either window= or config= is required")
+        else:
+            # The legacy kwarg spelling is a shim over the dataclass:
+            # same knobs, same validation, same error messages.
+            config = EstimatorConfig(
+                window=window,
+                step=step,
+                stem_iterations=stem_iterations,
+                min_observed_tasks=min_observed_tasks,
+                shards=shards,
+                shard_workers=shard_workers,
+                repartition=repartition,
+                warm_workers=warm_workers,
+                kernel=kernel,
+                threads=threads,
+                worker_retries=worker_retries,
+                n_particles=n_particles,
+                ess_threshold=ess_threshold,
+                rejuvenation_sweeps=rejuvenation_sweeps,
             )
-        if threads < 1:
-            raise InferenceError(f"need at least one thread, got {threads}")
-        if shard_workers is not None and shard_workers < 1:
-            raise InferenceError(
-                f"need at least one shard worker, got {shard_workers}"
-            )
-        if shard_workers is not None and shards == 1:
-            raise InferenceError(
-                "shard_workers requires shards > 1 — with a single shard the "
-                "whole sweep runs in-process and no worker would ever spawn"
-            )
-        if repartition not in REPARTITION_MODES:
-            raise InferenceError(
-                f"repartition must be one of {REPARTITION_MODES}, "
-                f"got {repartition!r}"
-            )
+        #: The estimator's validated configuration (single source of truth;
+        #: the knob attributes below are read-only views into it).
+        self.config = config
         self.stream = stream
-        self.window = float(window)
-        self.step = float(step) if step is not None else float(window)
-        self.stem_iterations = int(stem_iterations)
-        self.min_observed_tasks = int(min_observed_tasks)
-        self.shards = int(shards)
-        self.shard_workers = shard_workers
         self.transport = transport
-        self.repartition = repartition
-        self.warm_workers = bool(warm_workers)
-        self.kernel = str(kernel)
-        self.threads = int(threads)
         # One child per window, spawned lazily from the same sequence the
         # windowed estimator spawns up front — identical streams without
         # knowing the window count in advance.
@@ -284,15 +302,24 @@ class StreamingEstimator:
         self._prev_n_shards = 0
         self._pool: WarmShardWorkerPool | None = None
         self.n_windows_done = 0
-        #: How many times a window whose worker pool died under it (a
-        #: killed or crashed worker process) is re-run on a relaunched
-        #: pool before its failure is recorded as data.  Operational
-        #: policy, not statistical state: a retried window re-derives its
-        #: draws from the same per-window seed child, so the estimate is
-        #: bitwise what an uninterrupted run would have published.
-        self.worker_retries = 1
         #: Pools relaunched after dying mid-window (fault observability).
         self.n_worker_relaunches = 0
+
+    # ------------------------------------------------------------------
+    # Config views.
+    # ------------------------------------------------------------------
+
+    @property
+    def worker_retries(self) -> int:
+        """Relaunch budget per window (see :class:`EstimatorConfig`)."""
+        return self.config.worker_retries
+
+    @worker_retries.setter
+    def worker_retries(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise InferenceError(f"worker_retries must be >= 0, got {value}")
+        self.config.worker_retries = value
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -363,19 +390,9 @@ class StreamingEstimator:
         they are rebuilt on demand and cannot change a draw.
         """
         return {
-            "version": 1,
-            "config": {
-                "window": self.window,
-                "step": self.step,
-                "stem_iterations": self.stem_iterations,
-                "min_observed_tasks": self.min_observed_tasks,
-                "shards": self.shards,
-                "shard_workers": self.shard_workers,
-                "repartition": self.repartition,
-                "warm_workers": self.warm_workers,
-                "kernel": self.kernel,
-                "threads": self.threads,
-            },
+            "version": 2,
+            "estimator": self.estimator_name,
+            "config": self.config.as_dict(),
             "seed": {
                 "entropy": self._seed_seq.entropy,
                 "spawn_key": tuple(self._seed_seq.spawn_key),
@@ -396,12 +413,18 @@ class StreamingEstimator:
         stream must be positioned where the snapshot left it (the live
         stream's own snapshot carries that).
         """
-        # Older checkpoints predate the kernel/threads knobs; they were
+        captured_by = state.get("estimator", "stem")
+        if captured_by != self.estimator_name:
+            raise InferenceError(
+                f"checkpoint was captured by the {captured_by!r} estimator, "
+                f"but this is the {self.estimator_name!r} estimator — "
+                "construct the matching estimator from the checkpoint"
+            )
+        # Older checkpoints predate some config fields (v1 lacked
+        # kernel/threads; pre-SMC v2 lacked the particle knobs); they were
         # captured under the implicit defaults, so restore them as such.
-        config = dict(state["config"])
-        config.setdefault("kernel", "array")
-        config.setdefault("threads", 1)
-        mine = self.state_dict()["config"]
+        config = EstimatorConfig.from_state(state["config"]).as_dict()
+        mine = self.config.as_dict()
         if config != mine:
             raise InferenceError(
                 f"checkpoint was captured under config {config}, but this "
@@ -495,7 +518,17 @@ class StreamingEstimator:
         if compact is not None:
             compact(before=self.n_windows_done * self.step)
 
-    def _process_window(self, t0: float) -> StreamEstimate:
+    def _begin_window(self, t0: float):
+        """Shared per-window bookkeeping: poll, age out, seed, count.
+
+        Every estimator flavor advances a window identically — reveal
+        tasks up to the window's end, age out tasks that slid below its
+        start, spawn the window's seed child (windows that end up skipped
+        consume their child too, so the spawn index stays aligned with
+        the window index) — and diverges only in how it estimates.
+        Returns ``(t0, t1, arrived, aged, tasks, n_observed,
+        window_seed)``.
+        """
         t0 = float(t0)
         t1 = t0 + self.window
         arrived = self.stream.poll(t1)
@@ -511,6 +544,12 @@ class StreamingEstimator:
         n_observed = sum(self._task_observed(k) for k in tasks)
         window_seed = self._next_window_seed()  # one child per window
         self.n_windows_done += 1
+        return t0, t1, arrived, aged, tasks, n_observed, window_seed
+
+    def _process_window(self, t0: float) -> StreamEstimate:
+        t0, t1, arrived, aged, tasks, n_observed, window_seed = (
+            self._begin_window(t0)
+        )
         if len(tasks) < 2 or n_observed < self.min_observed_tasks:
             return StreamEstimate(
                 t0, t1, len(tasks), n_observed, None,
@@ -604,3 +643,24 @@ class StreamingEstimator:
             return list(self.estimates())
         finally:
             self.close()
+
+
+def _config_view(name: str) -> property:
+    return property(
+        lambda self, _name=name: getattr(self.config, _name),
+        doc=f"``{name}`` from the estimator's "
+            ":class:`~repro.online.config.EstimatorConfig` (read-only view; "
+            "``worker_retries`` is the one knob with a validating setter).",
+    )
+
+
+# Knob attributes delegate to ``self.config`` so there is exactly one copy
+# of every setting; read sites (service health, CLI summaries, tests) keep
+# working unchanged.
+for _name in (
+    "window", "step", "stem_iterations", "min_observed_tasks", "shards",
+    "shard_workers", "repartition", "warm_workers", "kernel", "threads",
+    "n_particles", "ess_threshold", "rejuvenation_sweeps",
+):
+    setattr(StreamingEstimator, _name, _config_view(_name))
+del _name

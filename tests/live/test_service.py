@@ -16,7 +16,7 @@ from repro.live import (
 )
 from repro.network import build_tandem_network
 from repro.observation import TaskSampling
-from repro.online import StreamingEstimator
+from repro.online import SMCEstimator, StreamingEstimator
 from repro.simulate import simulate_network
 
 
@@ -423,5 +423,93 @@ class TestRetentionBoundsCheckpoints:
             stream2.seal()
             assert wait_finished(service2) == "finished"
             resumed = service2.windows()
+        assert_windows_equal(pre_crash, resumed[: len(pre_crash)])
+        assert_windows_equal(ref, resumed)
+
+
+class TestSMCBehindTheService:
+    """Acceptance: the SMC estimator rides behind the service, the TCP
+    server, and checkpoint/restore with no wire-protocol change."""
+
+    @staticmethod
+    def make_smc(stream, horizon, windows=4, **kwargs):
+        kwargs.setdefault("stem_iterations", 8)
+        kwargs.setdefault("n_particles", 8)
+        kwargs.setdefault("random_state", 5)
+        return SMCEstimator(stream, window=horizon / windows, **kwargs)
+
+    def test_smc_over_live_tcp_matches_offline_run_bitwise(self):
+        from repro.live import LiveClient, LiveServer
+
+        trace, horizon = make_trace()
+        offline_stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        offline_stream.ingest(trace_to_records(trace))
+        offline_stream.seal()
+        ref = self.make_smc(offline_stream, horizon).run()
+        assert sum(w.ok for w in ref) >= 2
+        stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        service = EstimatorService(
+            self.make_smc(stream, horizon), poll_interval=0.02
+        )
+        with service, LiveServer(service, authkey=b"smc-key") as server:
+            with LiveClient(server.address, authkey=b"smc-key") as client:
+                for watermark, batch in replay_batches(trace):
+                    client.advance_watermark(watermark)
+                    client.ingest(batch)
+                client.seal()
+                deadline = time.time() + 120.0
+                while time.time() < deadline:
+                    health = client.health()
+                    if health["status"] in ("finished", "failed"):
+                        break
+                    time.sleep(0.02)
+                assert health["status"] == "finished", health["error"]
+                published = client.estimates()
+        assert len(published) == len(ref)
+        for a, b in zip(ref, published):
+            assert (a.t_start, a.t_end) == (b["t_start"], b["t_end"])
+            if a.rates is None:
+                assert b["rates"] is None
+            else:
+                np.testing.assert_array_equal(
+                    np.asarray(a.rates), np.asarray(b["rates"])
+                )
+
+    def test_smc_checkpoint_restore_dispatches_by_name(self, tmp_path):
+        trace, horizon = make_trace()
+        batches = replay_batches(trace, batch_tasks=8)
+        ref_stream = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        ref_stream.ingest(trace_to_records(trace))
+        ref_stream.seal()
+        ref = self.make_smc(ref_stream, horizon).run()
+        ckpt = str(tmp_path / "smc.ckpt")
+        stream1 = LiveTraceStream(n_queues=trace.skeleton.n_queues)
+        service1 = EstimatorService(
+            self.make_smc(stream1, horizon),
+            checkpoint_path=ckpt, poll_interval=0.02,
+        )
+        cut = int(len(batches) * 0.6)
+        with service1.start():
+            for watermark, batch in batches[:cut]:
+                stream1.advance_watermark(watermark)
+                stream1.ingest(batch)
+            deadline = time.time() + 60.0
+            while time.time() < deadline and len(service1.windows()) < 1:
+                time.sleep(0.02)
+        pre_crash = service1.windows()
+        assert len(pre_crash) >= 1
+        # The checkpoint names its estimator; restore must rebuild the
+        # SMC flavor without being told.
+        service2 = EstimatorService.from_checkpoint(ckpt)
+        assert isinstance(service2.estimator, SMCEstimator)
+        stream2 = service2.stream
+        with service2.start():
+            for watermark, batch in batches[max(cut - 3, 0):]:
+                stream2.advance_watermark(watermark)
+                stream2.ingest(batch)
+            stream2.seal()
+            assert wait_finished(service2) == "finished"
+            resumed = service2.windows()
+        assert stream2.n_duplicates > 0
         assert_windows_equal(pre_crash, resumed[: len(pre_crash)])
         assert_windows_equal(ref, resumed)

@@ -1,0 +1,155 @@
+"""Telemetry overhead gate: instrumentation must cost ≤ 3%.
+
+The telemetry subsystem rides inside the serving tier's two hot paths —
+record ingestion (``LiveTraceStream.ingest``) and the per-window
+estimation pipeline — so its cost is pinned, not assumed.  Each workload
+runs with telemetry enabled and disabled (``telemetry.isolated``),
+interleaved min-of-N so one co-tenancy spike on a shared CI runner
+cannot flip the verdict, and the enabled/disabled ratio must stay
+within ``MAX_OVERHEAD``.
+
+The same window-latency workload also re-asserts the subsystem's other
+contract: the published rate series is **bitwise identical** with
+telemetry on and off at the same seed (histogram reservoirs use their
+own stdlib RNG stream, never numpy's).
+
+The result is written to ``BENCH_telemetry.json`` so the workflow can
+archive the overhead trajectory across PRs.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.experiments import render_table
+from repro.live import LiveTraceStream, replay_batches, trace_to_records
+from repro.network import build_tandem_network
+from repro.observation import TaskSampling
+from repro.online import EstimatorConfig, ReplayTraceStream, get_estimator
+from repro.simulate import simulate_network
+
+from conftest import full_scale
+
+#: Where the machine-readable result lands (uploaded as a CI artifact).
+RESULT_PATH = "BENCH_telemetry.json"
+
+#: Enabled/disabled wall-time ratio each workload must stay within.
+MAX_OVERHEAD = 1.03
+
+#: Interleaved repetitions per (workload, mode); min is the statistic.
+ROUNDS = 5
+
+
+def make_trace(n_tasks: int, seed: int = 23):
+    net = build_tandem_network(4.0, [6.0, 8.0])
+    sim = simulate_network(net, n_tasks, random_state=seed)
+    trace = TaskSampling(fraction=0.3).observe(sim.events, random_state=seed)
+    horizon = float(np.nanmax(sim.events.departure))
+    return trace, horizon
+
+
+def ingest_pass(trace, horizon, n_queues, batch: int = 64) -> float:
+    """One full replay into a fresh stream; returns wall seconds."""
+    stream = LiveTraceStream(n_queues=n_queues)
+    t0 = time.perf_counter()
+    for watermark, records in replay_batches(trace, batch_tasks=batch):
+        stream.advance_watermark(watermark)
+        stream.ingest(records)
+    stream.advance_watermark(horizon + 1.0)
+    stream.seal()
+    stream.poll(horizon + 1.0)
+    return time.perf_counter() - t0
+
+
+def window_pass(trace, horizon, seed: int = 9):
+    """One streaming-estimator run; returns (seconds, rates ndarray)."""
+    config = EstimatorConfig(
+        window=horizon / 4, stem_iterations=6, min_observed_tasks=2
+    )
+    estimator = get_estimator("stem")(
+        ReplayTraceStream(trace), random_state=seed, config=config
+    )
+    t0 = time.perf_counter()
+    windows = estimator.run()
+    seconds = time.perf_counter() - t0
+    rates = np.array([
+        w.rates if w.rates is not None else [] for w in windows
+        if w.rates is not None
+    ])
+    return seconds, rates
+
+
+def timed_min(fn, modes=(True, False), rounds: int = ROUNDS) -> dict:
+    """Interleave enabled/disabled rounds of *fn*; keep the min per mode."""
+    best = {mode: float("inf") for mode in modes}
+    for _ in range(rounds):
+        for mode in modes:
+            with telemetry.isolated(enabled=mode):
+                best[mode] = min(best[mode], fn())
+    return {"enabled": best[True], "disabled": best[False]}
+
+
+def test_telemetry_overhead(benchmark):
+    n_ingest = 1500 if not full_scale() else 6000
+    n_window = 400 if not full_scale() else 1500
+    ingest_trace, ingest_horizon = make_trace(n_ingest)
+    window_trace, window_horizon = make_trace(n_window)
+    n_queues = ingest_trace.skeleton.n_queues
+    n_records = len(trace_to_records(ingest_trace))
+
+    def run():
+        ingest = timed_min(
+            lambda: ingest_pass(ingest_trace, ingest_horizon, n_queues)
+        )
+        window = timed_min(
+            lambda: window_pass(window_trace, window_horizon)[0]
+        )
+        with telemetry.isolated(enabled=True):
+            _, rates_on = window_pass(window_trace, window_horizon)
+        with telemetry.isolated(enabled=False):
+            _, rates_off = window_pass(window_trace, window_horizon)
+        return ingest, window, rates_on, rates_off
+
+    ingest, window, rates_on, rates_off = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # The determinism contract: instrumentation never perturbs a draw.
+    np.testing.assert_array_equal(rates_on, rates_off)
+
+    rows = []
+    result = {
+        "max_overhead": MAX_OVERHEAD,
+        "rounds": ROUNDS,
+        "bitwise_equal": True,
+        "workloads": {},
+    }
+    for name, times, unit in (
+        ("ingest", ingest, f"{n_records} records"),
+        ("window", window, f"{len(rates_on)} windows"),
+    ):
+        ratio = times["enabled"] / times["disabled"]
+        result["workloads"][name] = {
+            "enabled_s": times["enabled"],
+            "disabled_s": times["disabled"],
+            "ratio": ratio,
+            "scale": unit,
+        }
+        rows.append((name, f"{times['disabled'] * 1e3:.1f}",
+                     f"{times['enabled'] * 1e3:.1f}", f"{ratio:.4f}", unit))
+
+    print("\n=== Telemetry overhead (min of interleaved rounds) ===")
+    print(render_table(
+        ["workload", "off (ms)", "on (ms)", "ratio", "scale"], rows,
+    ))
+    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+    print(f"wrote {RESULT_PATH}")
+
+    for name, data in result["workloads"].items():
+        assert data["ratio"] <= MAX_OVERHEAD, (
+            f"telemetry overhead gate: {name} enabled/disabled ratio "
+            f"{data['ratio']:.4f} exceeds {MAX_OVERHEAD}"
+        )

@@ -19,6 +19,10 @@ ingest
     Replay a recorded trace into a running `repro serve` instance at a
     configurable speedup — the two-terminal live demo, and the reference
     for what a real reporting agent would ship.
+top
+    Live ops console for a running `repro serve` or `repro route`
+    instance: rate/utilization sparklines, phase-latency bars, worker
+    liveness, and stream counters, refreshed in place.
 experiment
     Run a reduced-scale version of one of the paper's experiments
     (fig4 / fig5 / variance) and print the result tables.
@@ -349,6 +353,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="ask the serving process to exit once this client is done",
     )
+
+    top = sub.add_parser(
+        "top",
+        help="live ops console for a running serve/route instance",
+        description=(
+            "Poll a running `repro serve` (or a router tier's front "
+            "server) and redraw a terminal dashboard each interval: "
+            "per-queue rate and utilization sparklines with anomaly "
+            "flags, pipeline phase-latency bars, worker liveness, and "
+            "stream admission counters. Example: `repro top --connect "
+            "127.0.0.1:7577 --authkey secret`."
+        ),
+    )
+    top.add_argument("--connect", default="127.0.0.1:7577",
+                     help="host:port of the running server")
+    top.add_argument("--authkey", default=None,
+                     help="shared handshake secret (must match the server's)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen clear)")
+    top.add_argument("--windows", type=int, default=64,
+                     help="recent windows to chart in the sparklines")
 
     route = sub.add_parser(
         "route",
@@ -987,6 +1014,45 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import IngestError
+    from repro.live import LiveClient
+    from repro.telemetry.console import render_top
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect must be host:port, got {args.connect!r}")
+    if args.interval <= 0.0:
+        raise SystemExit("--interval must be > 0")
+    try:
+        client = LiveClient((host, int(port)), authkey=_authkey(args.authkey))
+    except (IngestError, OSError) as exc:
+        raise SystemExit(f"cannot connect to {args.connect}: {exc}")
+    with client:
+        while True:
+            try:
+                health = client.health()
+                estimates = client.estimates()
+                report = client.metrics("snapshot")
+                anomalies = client.anomalies()
+            except (IngestError, OSError) as exc:
+                raise SystemExit(f"lost the server at {args.connect}: {exc}")
+            frame = render_top(
+                health, estimates[-args.windows:], report, anomalies
+            )
+            if args.once:
+                print(frame)
+                return 0
+            # Clear + home, then one frame: a flicker-free in-place redraw.
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "fig4":
         result = run_fig4(quick_fig4_config(), random_state=args.seed)
@@ -1040,6 +1106,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_route(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
+    if args.command == "top":
+        return _cmd_top(args)
     return _cmd_experiment(args)
 
 

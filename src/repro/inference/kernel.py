@@ -41,10 +41,12 @@ automatically.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import InferenceError
 from repro.events import EventSet
 from repro.inference.conditional import ArrivalBlanketCache, DepartureBlanketCache
@@ -55,6 +57,28 @@ _INF = np.inf
 #: Below this many moves a batch is evaluated on the calling thread even in
 #: threaded mode — the chunking overhead would dominate the numpy work.
 _MIN_ROWS_PER_THREAD = 64
+
+# Per-registry handle cache: sweep() runs per EM iteration, so its
+# telemetry must cost a dict read, not registry lookups.  Handles are
+# module-level (never instance attributes) so pickled kernels crossing
+# to shard workers carry no lock-bearing state.
+_KERNEL_METRICS: tuple | None = None
+
+
+def _kernel_metrics(reg) -> dict:
+    global _KERNEL_METRICS
+    cached = _KERNEL_METRICS
+    if cached is not None and cached[0] is reg:
+        return cached[1]
+    handles = {
+        "sweeps": reg.counter("repro_kernel_sweeps_total"),
+        "moves": reg.counter("repro_kernel_moves_total"),
+        "seconds": reg.histogram("repro_kernel_sweep_seconds"),
+        "batch": reg.histogram("repro_kernel_batch_size"),
+        "native": reg.gauge("repro_kernel_native_available"),
+    }
+    _KERNEL_METRICS = (reg, handles)
+    return handles
 
 
 def _gather(values: np.ndarray, idx: np.ndarray, missing: float) -> np.ndarray:
@@ -233,6 +257,22 @@ class ArraySweepKernel:
         self.refresh_rates(rates)
         self.a_batches = color_conflict_free_batches(*self._arrival_slots())
         self.d_batches = color_conflict_free_batches(*self._departure_slots())
+        reg = telemetry.get_registry()
+        if reg.enabled:
+            # Deferred import: native.py imports this module at its top.
+            from repro.inference.native import NativeSweepKernel, native_capability
+
+            metrics = _kernel_metrics(reg)
+            for sel in self.a_batches:
+                metrics["batch"].observe(sel.size)
+            for sel in self.d_batches:
+                metrics["batch"].observe(sel.size)
+            capability = native_capability()
+            metrics["native"].set(
+                1.0
+                if isinstance(self, NativeSweepKernel) and capability["available"]
+                else 0.0
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers.
@@ -431,6 +471,8 @@ class ArraySweepKernel:
             raise InferenceError(
                 "event-set structure changed; rebuild the array kernel"
             )
+        reg = telemetry.get_registry()
+        t_start = time.perf_counter() if reg.enabled else 0.0
         n_moves = 0
         n_skipped = 0
         arrival = state.arrival
@@ -456,6 +498,11 @@ class ArraySweepKernel:
             )
             n_moves += moved
             n_skipped += sel.size - moved
+        if reg.enabled:
+            metrics = _kernel_metrics(reg)
+            metrics["sweeps"].inc()
+            metrics["moves"].inc(n_moves)
+            metrics["seconds"].observe(time.perf_counter() - t_start)
         return n_moves, n_skipped
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import InferenceError
+from repro.telemetry import phase as _phase
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import initial_rates_from_observed
 from repro.inference.mstep import mle_rates_from_stats
@@ -217,8 +218,10 @@ def run_stem(
     if persistent_workers and not shard_pool_run:
         with PersistentChainPool(recipes, workers=persistent_workers) as pool:
             for it in range(1, n_iterations + 1):
-                totals = pool.step(rates, n_keep=sweeps_per_iteration)
-                rates = mle_rates_from_stats(counts, totals)
+                with _phase("sweeps"):
+                    totals = pool.step(rates, n_keep=sweeps_per_iteration)
+                with _phase("m-step"):
+                    rates = mle_rates_from_stats(counts, totals)
                 history[it] = rates
             estimate = history[burn_in:].mean(axis=0)
             samplers = pool.finish(estimate)
@@ -238,13 +241,15 @@ def run_stem(
         ]
         try:
             for it in range(1, n_iterations + 1):
-                for sampler in samplers:
-                    sampler.run(sweeps_per_iteration)
-                rates = mle_rates_from_stats(
-                    counts, [s.service_totals() for s in samplers]
-                )
-                for sampler in samplers:
-                    sampler.set_rates(rates)
+                with _phase("sweeps"):
+                    for sampler in samplers:
+                        sampler.run(sweeps_per_iteration)
+                with _phase("m-step"):
+                    rates = mle_rates_from_stats(
+                        counts, [s.service_totals() for s in samplers]
+                    )
+                    for sampler in samplers:
+                        sampler.set_rates(rates)
                 history[it] = rates
             estimate = history[burn_in:].mean(axis=0)
             for sampler in samplers:

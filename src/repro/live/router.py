@@ -52,13 +52,19 @@ import multiprocessing
 import os
 import threading
 import time
+import weakref
 from collections import deque
 
 import inspect
 
+from repro import telemetry
 from repro.errors import IngestError, ReproError
 from repro.live.server import DEFAULT_AUTHKEY, LiveClient, LiveServer
-from repro.live.service import EstimatorService
+from repro.live.service import (
+    EstimatorService,
+    flatten_health,
+    render_metrics_report,
+)
 from repro.live.stream import LiveTraceStream
 from repro.online import EstimatorConfig, estimator_config_keys, get_estimator
 from repro.rng import as_seed_sequence
@@ -367,6 +373,33 @@ class IngestRouter:
         self._probe_thread: threading.Thread | None = None
         self._probe_error: str | None = None
         self._started = False
+        if telemetry.enabled():
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Pre-register the router's metric surface (weakref-bound gauges
+        so a closed router does not linger in the registry)."""
+        telemetry.counter("repro_router_records_routed_total")
+        telemetry.counter("repro_router_unroutable_total")
+        telemetry.counter("repro_router_spool_evicted_total")
+        telemetry.counter("repro_router_restarts_total")
+        ref = weakref.ref(self)
+
+        def _parked() -> float:
+            router = ref()
+            if router is None:
+                return float("nan")
+            with router._route_lock:
+                return float(router._n_parked)
+
+        def _spool() -> float:
+            router = ref()
+            if router is None:
+                return float("nan")
+            return float(sum(h.spool_records for h in router._partitions))
+
+        telemetry.gauge_callback("repro_router_parked_records", _parked)
+        telemetry.gauge_callback("repro_router_spool_records", _spool)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -460,6 +493,8 @@ class IngestRouter:
         """
         handle.n_restarts += 1
         self.n_restarts += 1
+        if telemetry.enabled():
+            telemetry.counter("repro_router_restarts_total").inc()
         handle.stop(graceful=False)
         handle.spawn(restore=True)
         try:
@@ -573,13 +608,19 @@ class IngestRouter:
                 merged[key] += int(summary.get(key, 0))
             self._spool(self._partitions[p], batch,
                         int(summary.get("n_seen", 0)))
+        n_routed = sum(len(b) for b in groups.values())
         with self._route_lock:
-            self.n_records_routed += sum(len(b) for b in groups.values())
+            self.n_records_routed += n_routed
             merged["parked"] = self._n_parked
+        if n_routed and telemetry.enabled():
+            telemetry.counter(
+                "repro_router_records_routed_total"
+            ).inc(n_routed)
         return merged
 
     def _spool(self, handle: _PartitionHandle, batch, clock: int) -> None:
         """Record an acked batch for post-crash replay (bounded)."""
+        n_evicted = 0
         with handle.lock:
             handle.spool.append((clock, batch))
             handle.spool_records += len(batch)
@@ -590,6 +631,11 @@ class IngestRouter:
                 _, evicted = handle.spool.popleft()
                 handle.spool_records -= len(evicted)
                 handle.n_spool_evicted += len(evicted)
+                n_evicted += len(evicted)
+        if n_evicted and telemetry.enabled():
+            telemetry.counter(
+                "repro_router_spool_evicted_total"
+            ).inc(n_evicted)
 
     def advance_watermark(self, t: float) -> float:
         """Advance every partition's watermark; returns the tier's
@@ -610,6 +656,10 @@ class IngestRouter:
             self._parked.clear()
             self._n_parked = 0
             self._sealed = True
+        if dropped and telemetry.enabled():
+            telemetry.counter(
+                "repro_router_unroutable_total"
+            ).inc(dropped)
         merged: dict = {"unroutable_records": dropped}
         for p in range(self.n_partitions):
             summary = self._forward(p, "seal")
@@ -682,7 +732,11 @@ class IngestRouter:
             status = statuses[0]
         else:
             status = "serving"
-        record: dict = {
+        sums = {
+            key: sum(int(h.get(key) or 0) for h in partitions)
+            for key in _HEALTH_SUMS
+        }
+        service = {
             "status": status,
             "error": next(
                 (h["error"] for h in partitions if h.get("error")), None
@@ -690,14 +744,24 @@ class IngestRouter:
             "horizon": max(
                 (h.get("horizon", 0.0) for h in partitions), default=0.0
             ),
+            "windows_published": sums.pop("windows_published"),
+            "anomalies": sums.pop("anomalies"),
+            "n_records_seen": sums.pop("n_records_seen"),
+        }
+        stream_section = {
             "watermark": min(
                 (h["watermark"] for h in partitions if "watermark" in h),
                 default=0.0,
             ),
             "sealed": all(h.get("sealed", False) for h in partitions),
+            **sums,
         }
-        for key in _HEALTH_SUMS:
-            record[key] = sum(int(h.get(key) or 0) for h in partitions)
+        record: dict = {
+            "schema": 1,
+            "service": service,
+            "stream": stream_section,
+            "workers": None,
+        }
         with self._route_lock:
             router = {
                 "n_partitions": self.n_partitions,
@@ -719,4 +783,26 @@ class IngestRouter:
             }
         record["router"] = router
         record["partitions"] = partitions
-        return record
+        return flatten_health(record)
+
+    def metrics_report(self, fmt: str = "snapshot"):
+        """Tier-wide telemetry: every partition's report tagged with a
+        ``partition`` provenance label, merged with the router's own.
+        A partition that stays unreachable after the usual one-retry
+        recovery is skipped — its series resume at the next poll.
+        """
+        reports: list[dict] = [telemetry.report()]
+        for p in range(self.n_partitions):
+            try:
+                report = self._forward(p, "metrics", "snapshot")
+            except (IngestError, ReproError, OSError):
+                continue
+            report = dict(report)
+            report["metrics"] = telemetry.label_metrics(
+                report.get("metrics") or [], partition=str(p)
+            )
+            report["window_traces"] = telemetry.label_traces(
+                report.get("window_traces") or [], partition=p
+            )
+            reports.append(report)
+        return render_metrics_report(telemetry.merge_reports(reports), fmt)

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
+from repro import telemetry
 from repro.errors import IngestError, ReproError
 from repro.inference.transport import (
     SocketEndpoint,
@@ -46,7 +48,7 @@ DEFAULT_AUTHKEY = b"repro-live-dev"
 #: Commands a connection may issue, mapped to the service methods they call.
 COMMANDS = (
     "ingest", "watermark", "seal", "estimates", "anomalies", "health",
-    "shutdown",
+    "metrics", "shutdown",
 )
 
 
@@ -97,6 +99,13 @@ class LiveServer:
         self.n_dispatch_errors = 0
         #: Human-readable description of the newest unexpected failure.
         self.last_dispatch_error: str | None = None
+        if telemetry.enabled():
+            reg = telemetry.get_registry()
+            for command in COMMANDS:
+                reg.counter("repro_server_requests_total", command=command)
+            reg.counter("repro_server_dispatch_errors_total")
+            reg.counter("repro_server_rejected_connections_total")
+            reg.histogram("repro_server_request_seconds")
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -172,6 +181,10 @@ class LiveServer:
         if not authenticated:
             with self._lock:
                 self.n_rejected += 1
+            if telemetry.enabled():
+                telemetry.counter(
+                    "repro_server_rejected_connections_total"
+                ).inc()
             try:
                 conn.close()
             except OSError:
@@ -206,6 +219,19 @@ class LiveServer:
             return ("error", f"unknown command {message!r}; expected one of "
                              f"{COMMANDS}")
         command, *args = message
+        reg = telemetry.get_registry()
+        if not reg.enabled:
+            return self._dispatch_command(command, args)
+        reg.counter("repro_server_requests_total", command=command).inc()
+        t_start = time.perf_counter()
+        try:
+            return self._dispatch_command(command, args)
+        finally:
+            reg.histogram("repro_server_request_seconds").observe(
+                time.perf_counter() - t_start
+            )
+
+    def _dispatch_command(self, command: str, args: list) -> tuple:
         try:
             if command == "ingest":
                 return ("ok", self.service.ingest(*args))
@@ -224,6 +250,8 @@ class LiveServer:
                 # swallowed dispatch failures without a server-side log.
                 record["server"] = self.stats()
                 return ("ok", record)
+            if command == "metrics":
+                return ("ok", self.service.metrics_report(*args))
             if command == "shutdown":
                 self._shutdown_requested.set()
                 return ("ok", "shutting down")
@@ -243,6 +271,8 @@ class LiveServer:
             with self._lock:
                 self.n_dispatch_errors += 1
                 self.last_dispatch_error = f"{command}: {description}"
+            if telemetry.enabled():
+                telemetry.counter("repro_server_dispatch_errors_total").inc()
             return (
                 "error",
                 f"internal error handling {command!r}: {description}",
@@ -363,6 +393,11 @@ class LiveClient:
     def health(self) -> dict:
         """The service's health record."""
         return self._call("health")
+
+    def metrics(self, fmt: str = "snapshot"):
+        """The serving process's telemetry: a structured snapshot dict,
+        or rendered ``"json"`` / ``"prometheus"`` text."""
+        return self._call("metrics", str(fmt))
 
     def shutdown(self) -> None:
         """Ask the serving process to exit its serve loop."""

@@ -40,6 +40,7 @@ import time
 import traceback
 from dataclasses import replace
 
+from repro import telemetry
 from repro.errors import IngestError
 from repro.live.stream import LiveTraceStream
 from repro.online import EstimatorConfig, StreamEstimatorProtocol, get_estimator
@@ -55,6 +56,41 @@ SERVICE_STATES = ("idle", "serving", "finished", "stopped", "failed")
 #: service (the detector's history is otherwise expanding); below this
 #: many windows the flags are identical to whole-history detection.
 ANOMALY_TAIL_WINDOWS = 64
+
+
+#: Renderings accepted by the ``metrics`` wire command.
+METRICS_FORMATS = ("snapshot", "json", "prometheus")
+
+
+def render_metrics_report(report: dict, fmt: str):
+    """Render a telemetry report for the wire: the structured snapshot
+    itself, canonical JSON text, or Prometheus v0 text."""
+    if fmt == "snapshot":
+        return report
+    if fmt == "json":
+        return telemetry.render_json(report)
+    if fmt == "prometheus":
+        return telemetry.render_prometheus(report.get("metrics") or [])
+    raise IngestError(
+        f"unknown metrics format {fmt!r}; expected one of {METRICS_FORMATS}"
+    )
+
+
+def flatten_health(record: dict) -> dict:
+    """Mirror a schema-1 health record's nested sections as flat keys.
+
+    Compatibility shim for pre-schema consumers (one release only):
+    every key of ``service`` and ``stream`` reappears at the top level,
+    exactly as the flat records of earlier releases spelled them.  The
+    ``workers`` and ``server`` sections were already flat keys before.
+    """
+    flat = dict(record)
+    for section in ("service", "stream"):
+        body = record.get(section)
+        if isinstance(body, dict):
+            for key, value in body.items():
+                flat.setdefault(key, value)
+    return flat
 
 
 def estimate_to_record(estimate: WindowEstimate, index: int) -> dict:
@@ -124,8 +160,14 @@ class EstimatorService:
         self.anomaly_threshold = float(anomaly_threshold)
         self._lock = threading.RLock()
         self._published: list[StreamEstimate] = []
-        #: Wall-clock publish time per window (what latency benchmarks read).
+        #: Wall-clock publish time per window — display/benchmark use only.
+        #: NTP steps can move this clock, so latency metrics never derive
+        #: from it; see :attr:`publish_latency`.
         self.published_at: list[float] = []
+        #: Monotonic pickup-to-publish duration per window (nan for
+        #: windows restored from a checkpoint).  Index-aligned with
+        #: :attr:`published_at`.
+        self.publish_latency: list[float] = []
         self._anomalies = []
         self._windows_since_checkpoint = 0
         # Serializes window processing against snapshot *capture*: a
@@ -161,6 +203,16 @@ class EstimatorService:
         self._thread: threading.Thread | None = None
         self._status = "idle"
         self._error: str | None = None
+        if telemetry.enabled():
+            # Pre-register the service's metric names so a metrics reply
+            # carries the full surface from the first scrape on.
+            reg = telemetry.get_registry()
+            reg.counter("repro_service_windows_published_total")
+            reg.counter("repro_service_anomalies_total")
+            reg.counter("repro_service_records_seen_total")
+            reg.histogram("repro_service_publish_seconds")
+            reg.histogram("repro_service_checkpoint_seconds")
+            reg.gauge("repro_service_checkpoint_bytes")
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -245,9 +297,15 @@ class EstimatorService:
                 sealed = getattr(self.stream, "sealed", True)
                 t0 = self._next_ready_start()
                 if t0 is not None:
-                    with self._window_lock:
-                        estimate = self.estimator.process_window(t0)
-                    self._publish(estimate)
+                    est = self.estimator
+                    started = time.monotonic()
+                    with telemetry.window_trace(
+                        est.n_windows_done, t0, t0 + est.window
+                    ):
+                        with self._window_lock:
+                            estimate = est.process_window(t0)
+                        with telemetry.phase("publish"):
+                            self._publish(estimate, started=started)
                     continue
                 if sealed:
                     with self._lock:
@@ -273,10 +331,15 @@ class EstimatorService:
         else:
             time.sleep(self.poll_interval)
 
-    def _publish(self, estimate: StreamEstimate) -> None:
+    def _publish(self, estimate: StreamEstimate, started: float | None = None) -> None:
+        latency = (
+            float("nan") if started is None else time.monotonic() - started
+        )
+        n_new_anomalies = 0
         with self._lock:
             self._published.append(estimate)
             self.published_at.append(time.time())
+            self.publish_latency.append(latency)
             # Judge only the fresh window, against a bounded rolling tail:
             # older windows were judged when they were the fresh one (the
             # detector's per-window verdict depends only on its preceding
@@ -290,8 +353,19 @@ class EstimatorService:
                     self._anomalies.append(
                         replace(report, window_index=report.window_index + offset)
                     )
+                    n_new_anomalies += 1
             self._windows_since_checkpoint += 1
             due = self._windows_since_checkpoint >= self.checkpoint_every
+        if telemetry.enabled():
+            telemetry.counter("repro_service_windows_published_total").inc()
+            if n_new_anomalies:
+                telemetry.counter("repro_service_anomalies_total").inc(
+                    n_new_anomalies
+                )
+            if started is not None:
+                telemetry.histogram("repro_service_publish_seconds").observe(
+                    latency
+                )
         if due:
             # Capture now, write in the background: publishing must not
             # wait on checkpoint I/O.
@@ -344,14 +418,22 @@ class EstimatorService:
             return list(self._published)
 
     def health(self) -> dict:
-        """One self-describing status record (the ``health`` command)."""
+        """One versioned status record (the ``health`` command).
+
+        Schema 1 nests the record into ``service`` / ``stream`` /
+        ``workers`` sections (``stream`` and ``workers`` are ``None``
+        when the service has no live stream / no worker pool; the wire
+        server adds a ``server`` section).  Every pre-schema flat key is
+        still mirrored at the top level for one release — see
+        :func:`flatten_health`.
+        """
         with self._lock:
             status = self._status
             error = self._error
             n_published = len(self._published)
             n_anomalies = len(self._anomalies)
         stream = self.stream
-        record = {
+        service = {
             "status": status,
             "error": error,
             "windows_published": n_published,
@@ -362,26 +444,41 @@ class EstimatorService:
             "checkpoint_error": self._ckpt_error,
             "checkpoint_meta": self.last_checkpoint_meta,
             "n_records_seen": self.n_records_seen,
+        }
+        stream_section = None
+        if isinstance(stream, LiveTraceStream):
+            stream_section = {
+                "watermark": float(stream.watermark),
+                "sealed": stream.sealed,
+                "n_revealed": stream.n_revealed,
+                "n_pending": stream.n_pending,
+                "n_admitted": stream.n_admitted,
+                "n_duplicates": stream.n_duplicates,
+                "n_late": stream.n_late,
+                "n_stragglers": stream.n_stragglers,
+                "n_dropped_tasks": stream.n_dropped_tasks,
+                "n_retained_tasks": stream.n_retained_tasks,
+                "n_compacted_tasks": stream.n_compacted_tasks,
+            }
+        record = {
+            "schema": 1,
+            "service": service,
+            "stream": stream_section,
             # Shard-worker liveness (None when the estimator is unpooled):
             # a monitoring consumer sees a killed worker here before the
             # next window trips over it, and the relaunch tally after.
             "workers": self.estimator.pool_stats(),
         }
-        if isinstance(stream, LiveTraceStream):
-            record.update(
-                watermark=float(stream.watermark),
-                sealed=stream.sealed,
-                n_revealed=stream.n_revealed,
-                n_pending=stream.n_pending,
-                n_admitted=stream.n_admitted,
-                n_duplicates=stream.n_duplicates,
-                n_late=stream.n_late,
-                n_stragglers=stream.n_stragglers,
-                n_dropped_tasks=stream.n_dropped_tasks,
-                n_retained_tasks=stream.n_retained_tasks,
-                n_compacted_tasks=stream.n_compacted_tasks,
-            )
-        return record
+        return flatten_health(record)
+
+    def metrics_report(self, fmt: str = "snapshot"):
+        """This process's telemetry (the ``metrics`` wire command).
+
+        ``fmt="snapshot"`` returns the structured report dict (what the
+        router merges and ``repro top`` consumes); ``"json"`` and
+        ``"prometheus"`` return rendered text.
+        """
+        return render_metrics_report(telemetry.report(), fmt)
 
     # Ingestion passthroughs, so the server needs only this one object.
 
@@ -400,6 +497,10 @@ class EstimatorService:
             # The clock rides the ack: a router tags its replay-spool
             # entries with it and compares against checkpoint coverage.
             summary["n_seen"] = self.n_records_seen
+        if telemetry.enabled():
+            telemetry.counter("repro_service_records_seen_total").inc(
+                len(records)
+            )
         return summary
 
     def advance_watermark(self, t: float) -> float:
@@ -450,19 +551,28 @@ class EstimatorService:
         with self._ckpt_io_lock:
             if seq <= self._ckpt_written:
                 return
-            payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp = f"{self.checkpoint_path}.tmp"
-            with open(tmp, "wb") as fh:
-                fh.write(payload)
-            os.replace(tmp, self.checkpoint_path)
-            self._ckpt_written = seq
-            self.last_checkpoint_bytes = len(payload)
-            # Meta describes the snapshot that *reached disk* — never the
-            # captured-but-unwritten one a crash would lose.
-            self.last_checkpoint_meta = {
-                "n_seen": snapshot.get("ingest", {}).get("n_seen", 0),
-                "windows": len(snapshot.get("published", ())),
-            }
+            with telemetry.phase("checkpoint"):
+                t_start = time.perf_counter()
+                payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp = f"{self.checkpoint_path}.tmp"
+                with open(tmp, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, self.checkpoint_path)
+                self._ckpt_written = seq
+                self.last_checkpoint_bytes = len(payload)
+                # Meta describes the snapshot that *reached disk* — never the
+                # captured-but-unwritten one a crash would lose.
+                self.last_checkpoint_meta = {
+                    "n_seen": snapshot.get("ingest", {}).get("n_seen", 0),
+                    "windows": len(snapshot.get("published", ())),
+                }
+            if telemetry.enabled():
+                telemetry.histogram("repro_service_checkpoint_seconds").observe(
+                    time.perf_counter() - t_start
+                )
+                telemetry.gauge("repro_service_checkpoint_bytes").set(
+                    self.last_checkpoint_bytes
+                )
 
     def _checkpoint_now(self, wait: bool = True) -> None:
         if self.checkpoint_path is None:
@@ -563,9 +673,11 @@ class EstimatorService:
             "n_seen": service.n_records_seen,
             "windows": len(service._published),
         }
-        # Publish times are per process lifetime; pre-restart windows get
-        # nan so the list stays index-aligned with the published windows.
+        # Publish times and latencies are per process lifetime;
+        # pre-restart windows get nan so both lists stay index-aligned
+        # with the published windows.
         service.published_at = [float("nan")] * len(service._published)
+        service.publish_latency = [float("nan")] * len(service._published)
         service._anomalies = detect_anomalies(
             service._published, threshold=service.anomaly_threshold
         )

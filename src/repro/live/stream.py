@@ -66,16 +66,76 @@ source.
 from __future__ import annotations
 
 import threading
+import time
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import IngestError, InvalidEventSetError
 from repro.events.serialization import validate_measurement_record
 from repro.events.subset import SubsetIndex, subset_trace
 from repro.live.records import IncrementalAssembler, assemble_trace, record_times
 from repro.observation import ObservedTrace
 from repro.online.streaming import TraceStream
+
+# Per-registry cache of the stream's counter/histogram handles so the
+# per-batch ingest cost is a few lock-free dict reads, not registry
+# lookups (the overhead gate in bench_telemetry.py watches this path).
+_METRIC_HANDLES: tuple | None = None
+
+_MEMORY_CONTAINERS = (
+    "buffered_records", "retained_tasks", "retained_events",
+    "reveal_positions", "ready_entries", "slot_entries", "resolved_slots",
+    "dropped_tasks", "compacted_tasks", "compacted_events",
+)
+
+
+def _stream_metrics() -> dict:
+    global _METRIC_HANDLES
+    reg = telemetry.get_registry()
+    cached = _METRIC_HANDLES
+    if cached is not None and cached[0] is reg:
+        return cached[1]
+    handles = {
+        "batches": reg.counter("repro_stream_ingest_batches_total"),
+        "admitted": reg.counter("repro_stream_records_admitted_total"),
+        "duplicates": reg.counter("repro_stream_records_duplicate_total"),
+        "late": reg.counter("repro_stream_records_late_total"),
+        "stragglers": reg.counter("repro_stream_records_straggler_total"),
+        "dropped_tasks": reg.counter("repro_stream_tasks_dropped_total"),
+        "revealed": reg.counter("repro_stream_tasks_revealed_total"),
+        "tasks_compacted": reg.counter("repro_stream_tasks_compacted_total"),
+        "events_compacted": reg.counter("repro_stream_events_compacted_total"),
+        "batch_seconds": reg.histogram("repro_stream_ingest_batch_seconds"),
+    }
+    _METRIC_HANDLES = (reg, handles)
+    return handles
+
+
+def _register_stream_gauges(stream: "LiveTraceStream") -> None:
+    """Bind the buffer gauges to *stream* via weakref (a replaced stream
+    must not be kept alive by its telemetry callbacks)."""
+    reg = telemetry.get_registry()
+    ref = weakref.ref(stream)
+
+    def _attr(name):
+        def _value():
+            live = ref()
+            return float("nan") if live is None else float(getattr(live, name))
+        return _value
+
+    def _mem(key):
+        def _value():
+            live = ref()
+            return float("nan") if live is None else float(live.memory_stats()[key])
+        return _value
+
+    reg.gauge_callback("repro_stream_watermark", _attr("watermark"))
+    reg.gauge_callback("repro_stream_horizon", _attr("_horizon"))
+    for key in _MEMORY_CONTAINERS:
+        reg.gauge_callback("repro_stream_memory", _mem(key), container=key)
 
 
 @dataclass
@@ -245,6 +305,9 @@ class LiveTraceStream(TraceStream):
         self.n_late = 0
         self.n_stragglers = 0
         self.n_dropped_tasks = 0
+        if telemetry.enabled():
+            _stream_metrics()  # pre-register the stream counter names
+            _register_stream_gauges(self)
 
     # ------------------------------------------------------------------
     # Ingestion API.
@@ -266,13 +329,31 @@ class LiveTraceStream(TraceStream):
             the assembler drains), or if a record is malformed or
             conflicts with an already admitted one.
         """
+        summary = {
+            "admitted": 0, "duplicates": 0, "late": 0,
+            "stragglers": 0, "dropped_tasks": 0,
+        }
+        reg = telemetry.get_registry()
+        if not reg.enabled:
+            return self._ingest_locked(records, summary)
+        t_start = time.perf_counter()
+        try:
+            return self._ingest_locked(records, summary)
+        finally:
+            # Counted even when the batch aborted part-way (backpressure):
+            # the series must agree with the stream's own n_* attributes.
+            metrics = _stream_metrics()
+            metrics["batches"].inc()
+            for key in ("admitted", "duplicates", "late", "stragglers",
+                        "dropped_tasks"):
+                if summary[key]:
+                    metrics[key].inc(summary[key])
+            metrics["batch_seconds"].observe(time.perf_counter() - t_start)
+
+    def _ingest_locked(self, records: list[dict], summary: dict) -> dict:
         with self._lock:
             if self._sealed:
                 raise IngestError("the stream is sealed; no more records")
-            summary = {
-                "admitted": 0, "duplicates": 0, "late": 0,
-                "stragglers": 0, "dropped_tasks": 0,
-            }
             try:
                 for raw in records:
                     try:
@@ -664,7 +745,9 @@ class LiveTraceStream(TraceStream):
             ):
                 out.append(self._ready[self._cursor - self._ready_offset])
                 self._cursor += 1
-            return out
+        if out and telemetry.enabled():
+            _stream_metrics()["revealed"].inc(len(out))
+        return out
 
     def subset(self, task_ids) -> ObservedTrace:
         with self._lock:
@@ -802,7 +885,11 @@ class LiveTraceStream(TraceStream):
                 self._reveal_offset = trim_to
                 self._entry_values = None
             out = {"compacted_tasks": k, "compacted_events": m}
-            return out
+        if telemetry.enabled():
+            metrics = _stream_metrics()
+            metrics["tasks_compacted"].inc(k)
+            metrics["events_compacted"].inc(m)
+        return out
 
     def _fold_summary(
         self, trace: ObservedTrace, k: int, m: int, p_end: int

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import InferenceError
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.init_heuristic import initial_rates_from_observed
@@ -236,23 +237,27 @@ class SMCEstimator(StreamingEstimator):
             self._attempt_seed(window_seed).spawn(3)
         )
         # 1. Reweight on the newly revealed records (O(arrivals)).
-        counts, totals = self._batch_statistics(arrived, interval)
-        if self._thetas is not None and totals.sum() > 0.0:
-            theta = self._thetas
-            self._log_weights = self._log_weights + _SURROGATE_POWER * (
-                np.log(theta) @ counts - theta @ totals
-            )
-            # Keep the stored log-weights bounded over long streams.
-            self._log_weights = self._log_weights - np.max(self._log_weights)
+        with telemetry.phase("reweight"):
+            counts, totals = self._batch_statistics(arrived, interval)
+            if self._thetas is not None and totals.sum() > 0.0:
+                theta = self._thetas
+                self._log_weights = self._log_weights + _SURROGATE_POWER * (
+                    np.log(theta) @ counts - theta @ totals
+                )
+                # Keep the stored log-weights bounded over long streams.
+                self._log_weights = self._log_weights - np.max(self._log_weights)
         # 2. Resample + rejuvenate when the population degraded (or was
         # never initialized).
         weights = _normalize_log_weights(self._log_weights)
         ess = 1.0 / float(np.sum(weights * weights))
+        if telemetry.enabled():
+            telemetry.gauge("repro_smc_ess").set(ess)
         if self._thetas is None or ess < self.ess_threshold * self.n_particles:
             # Only a triggering window materializes its task subset —
             # between triggers a window's cost stays O(new arrivals),
             # never O(window).
-            window_trace = self.stream.subset(tasks)
+            with telemetry.phase("subset"):
+                window_trace = self.stream.subset(tasks)
             self._rejuvenate(
                 window_trace, weights, resample_seed, burnin_seed, move_seed
             )
@@ -356,39 +361,43 @@ class SMCEstimator(StreamingEstimator):
             threads=self.threads,
         )
         try:
-            for _ in range(max(1, self.stem_iterations // 2)):
-                sampler.sweep()
-                base_rates = mle_rates_from_stats(
-                    event_counts, [sampler.service_totals()],
-                    min_rate=_MIN_RATE, max_rate=_MAX_RATE,
-                )
-                sampler.set_rates(base_rates)
+            with telemetry.phase("burn-in"):
+                for _ in range(max(1, self.stem_iterations // 2)):
+                    sampler.sweep()
+                    base_rates = mle_rates_from_stats(
+                        event_counts, [sampler.service_totals()],
+                        min_rate=_MIN_RATE, max_rate=_MAX_RATE,
+                    )
+                    sampler.set_rates(base_rates)
             init_arrival = state.arrival.copy()
             init_departure = state.departure.copy()
             if needs_init:
                 # Particles anchor on the burned-in rates; the first
                 # Gamma refresh below scatters them into the posterior.
                 thetas = np.tile(base_rates, (self.n_particles, 1))
-            for p, child in enumerate(move_seed.spawn(self.n_particles)):
-                rng = as_generator(child)
-                sampler.reseed(rng)
-                sampler.load_times(init_arrival, init_departure)
-                # Rates are loaded before each sweep, not after each
-                # refresh: the last refreshed θ is stored without a final
-                # set_rates, whose rebuilt rate caches no draw would read.
-                theta = thetas[p]
-                for _ in range(self.rejuvenation_sweeps):
-                    sampler.set_rates(theta)
-                    sampler.sweep()
-                    theta = self._gamma_refresh(
-                        event_counts, sampler.service_totals(), rng
-                    )
-                thetas[p] = theta
+            with telemetry.phase("sweeps"):
+                for p, child in enumerate(move_seed.spawn(self.n_particles)):
+                    rng = as_generator(child)
+                    sampler.reseed(rng)
+                    sampler.load_times(init_arrival, init_departure)
+                    # Rates are loaded before each sweep, not after each
+                    # refresh: the last refreshed θ is stored without a final
+                    # set_rates, whose rebuilt rate caches no draw would read.
+                    theta = thetas[p]
+                    for _ in range(self.rejuvenation_sweeps):
+                        sampler.set_rates(theta)
+                        sampler.sweep()
+                        theta = self._gamma_refresh(
+                            event_counts, sampler.service_totals(), rng
+                        )
+                    thetas[p] = theta
         finally:
             sampler.close()
         self._thetas = thetas
         self._log_weights = np.zeros(self.n_particles)
         self.n_rejuvenations += 1
+        if telemetry.enabled():
+            telemetry.counter("repro_smc_rejuvenations_total").inc()
 
     @staticmethod
     def _gamma_refresh(

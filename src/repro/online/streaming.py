@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import InferenceError
 from repro.events.subset import SubsetIndex, subset_trace
 from repro.inference import run_stem
@@ -506,6 +507,13 @@ class StreamingEstimator:
         """
         estimate = self._process_window(t0)
         self._compact_stream()
+        if telemetry.enabled():
+            if estimate.rates is not None:
+                telemetry.counter("repro_windows_processed_total").inc()
+            elif estimate.failure is not None:
+                telemetry.counter("repro_windows_failed_total").inc()
+            else:
+                telemetry.counter("repro_windows_skipped_total").inc()
         return estimate
 
     def _compact_stream(self) -> None:
@@ -531,7 +539,8 @@ class StreamingEstimator:
         """
         t0 = float(t0)
         t1 = t0 + self.window
-        arrived = self.stream.poll(t1)
+        with telemetry.phase("poll"):
+            arrived = self.stream.poll(t1)
         for task, entry in arrived:
             self._entries[task] = entry
         aged = [k for k, t in self._entries.items() if t < t0]
@@ -555,8 +564,10 @@ class StreamingEstimator:
                 t0, t1, len(tasks), n_observed, None,
                 n_new_tasks=len(arrived), n_aged_out=len(aged),
             )
-        window_trace = self.stream.subset(tasks)
-        partition = self._window_partition(window_trace.skeleton, len(tasks))
+        with telemetry.phase("subset"):
+            window_trace = self.stream.subset(tasks)
+        with telemetry.phase("partition"):
+            partition = self._window_partition(window_trace.skeleton, len(tasks))
         n_shards = (
             partition.n_shards if partition is not None
             else min(self.shards, len(tasks))
@@ -602,6 +613,8 @@ class StreamingEstimator:
                     # resident — and re-run this window from its own seed.
                     relaunches_left -= 1
                     self.n_worker_relaunches += 1
+                    if telemetry.enabled():
+                        telemetry.counter("repro_worker_relaunches_total").inc()
                     continue
                 failure = str(exc)  # a failed window is data, not a crash
             break

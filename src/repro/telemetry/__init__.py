@@ -1,0 +1,141 @@
+"""Unified telemetry for the repro serving tier.
+
+One process-global ``MetricsRegistry`` backs every layer (stream,
+estimators, kernels, service, wire, router); module-level helpers are
+the instrumentation API so no constructor anywhere grows a telemetry
+kwarg::
+
+    from repro import telemetry
+
+    telemetry.counter("repro_stream_records_admitted_total").inc(n)
+    with telemetry.phase("sweeps"):
+        ...
+
+Each shared-nothing router partition is its own process and therefore
+its own registry; the router merges partition reports with provenance
+labels at query time.  Set ``REPRO_TELEMETRY=0`` in the environment (or
+call ``configure(enabled=False)``) to disable all instrumentation; the
+disabled hot path is a single attribute read and branch.
+
+The documented metric surface lives in :mod:`repro.telemetry.spec`;
+renderers in :mod:`repro.telemetry.render`; the ``repro top`` console
+renderer in :mod:`repro.telemetry.console`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.telemetry.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+    WindowTrace,
+)
+from repro.telemetry.render import (
+    label_metrics,
+    label_traces,
+    merge_reports,
+    render_json,
+    render_prometheus,
+)
+from repro.telemetry.spec import BUCKETS, SPEC
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryError",
+    "WindowTrace",
+    "SPEC",
+    "BUCKETS",
+    "configure",
+    "counter",
+    "enabled",
+    "gauge",
+    "gauge_callback",
+    "get_registry",
+    "histogram",
+    "isolated",
+    "label_metrics",
+    "label_traces",
+    "merge_reports",
+    "phase",
+    "render_json",
+    "render_prometheus",
+    "report",
+    "set_registry",
+    "window_trace",
+]
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_TELEMETRY", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+_REGISTRY = MetricsRegistry(enabled=_env_enabled())
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    global _REGISTRY
+    _REGISTRY = registry
+    return registry
+
+
+def configure(enabled: bool | None = None) -> MetricsRegistry:
+    if enabled is not None:
+        _REGISTRY.enabled = bool(enabled)
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    return _REGISTRY.enabled
+
+
+def counter(name: str, **labels) -> Counter:
+    return _REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    return _REGISTRY.gauge(name, **labels)
+
+
+def gauge_callback(name: str, fn, **labels) -> Gauge:
+    return _REGISTRY.gauge_callback(name, fn, **labels)
+
+
+def histogram(name: str, buckets=None, **labels) -> Histogram:
+    return _REGISTRY.histogram(name, buckets=buckets, **labels)
+
+
+def phase(name: str):
+    return _REGISTRY.phase(name)
+
+
+def window_trace(index: int, t0: float, t1: float):
+    return _REGISTRY.window_trace(index, t0, t1)
+
+
+def report() -> dict:
+    return _REGISTRY.report()
+
+
+@contextmanager
+def isolated(enabled: bool = True):
+    """Swap in a fresh registry for the duration (tests, benchmarks)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = MetricsRegistry(enabled=enabled)
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY = previous

@@ -1,0 +1,136 @@
+"""Wire renderings of a metrics report.
+
+A *report* is the picklable dict produced by ``MetricsRegistry.report()``:
+``{"schema": 1, "metrics": [...], "window_traces": [...]}``.  The router
+ships partition reports over the framed protocol as these dicts, tags
+them with partition provenance via ``label_metrics``, and merges them
+with ``merge_reports``; the server renders either Prometheus v0 text or
+canonical JSON on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = [
+    "label_metrics",
+    "label_traces",
+    "merge_reports",
+    "render_json",
+    "render_prometheus",
+]
+
+
+def _fmt_value(value) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(metrics: list[dict]) -> str:
+    """Prometheus text exposition format version 0.0.4."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in sorted(metrics, key=lambda m: (m["name"], sorted((m.get("labels") or {}).items()))):
+        name = metric["name"]
+        labels = metric.get("labels") or {}
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = (metric.get("help") or "").replace("\\", "\\\\").replace("\n", "\\n")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric['type']}")
+        if metric["type"] == "histogram":
+            cumulative = 0
+            for le, count in metric["buckets"]:
+                cumulative += count
+                le_text = "+Inf" if le == math.inf else _fmt_value(le)
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, {'le': le_text})} {cumulative}"
+                )
+            lines.append(f"{name}_sum{_labels_text(labels)} {_fmt_value(metric['sum'])}")
+            lines.append(f"{name}_count{_labels_text(labels)} {metric['count']}")
+        else:
+            lines.append(f"{name}{_labels_text(labels)} {_fmt_value(metric['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _json_safe(obj):
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if obj == math.inf:
+            return "+Inf"
+        if obj == -math.inf:
+            return "-Inf"
+        return obj
+    if isinstance(obj, dict):
+        return {key: _json_safe(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(item) for item in obj]
+    return obj
+
+
+def render_json(report: dict) -> str:
+    """Canonical JSON rendering; non-finite floats become strings so the
+    output is strict-JSON parseable everywhere."""
+    return json.dumps(_json_safe(report), sort_keys=True)
+
+
+def label_metrics(metrics: list[dict], **extra) -> list[dict]:
+    """Return a copy of ``metrics`` with ``extra`` merged into each
+    series' labels (e.g. ``partition="3"`` provenance on router merges)."""
+    tagged = {key: str(value) for key, value in extra.items()}
+    out = []
+    for metric in metrics:
+        clone = dict(metric)
+        clone["labels"] = {**(metric.get("labels") or {}), **tagged}
+        out.append(clone)
+    return out
+
+
+def label_traces(traces: list[dict], **extra) -> list[dict]:
+    out = []
+    for trace in traces:
+        clone = dict(trace)
+        clone.update(extra)
+        out.append(clone)
+    return out
+
+
+def merge_reports(reports: list[dict]) -> dict:
+    """Fold several reports into one (router fan-in).  Series are kept
+    distinct -- provenance labels added beforehand prevent collisions."""
+    metrics: list[dict] = []
+    traces: list[dict] = []
+    for report in reports:
+        if not report:
+            continue
+        metrics.extend(report.get("metrics") or [])
+        traces.extend(report.get("window_traces") or [])
+    metrics.sort(key=lambda m: (m["name"], sorted((m.get("labels") or {}).items())))
+    return {"schema": 1, "metrics": metrics, "window_traces": traces}

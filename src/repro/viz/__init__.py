@@ -7,6 +7,20 @@ per-queue estimate series (Figure 5), response-time curves — directly in
 a terminal, with no plotting dependency.
 """
 
+from repro.viz.sparkline import bar_row, hbar, liveness_dots, resample, spark
+
+# After the submodule import above: loading repro.viz.sparkline rebinds
+# this package's `sparkline` attribute to the module, so the function of
+# the same name must be (re)imported last to win.
 from repro.viz.ascii_plots import boxplot_panel, series_panel, sparkline
 
-__all__ = ["sparkline", "series_panel", "boxplot_panel"]
+__all__ = [
+    "sparkline",
+    "series_panel",
+    "boxplot_panel",
+    "resample",
+    "spark",
+    "hbar",
+    "bar_row",
+    "liveness_dots",
+]

@@ -1,0 +1,89 @@
+"""Width-bounded sparkline primitives for the live ops console.
+
+``repro top`` redraws a fixed-width terminal frame every refresh, so
+unlike :mod:`repro.viz.ascii_plots` (one tick per sample, unbounded
+width) these primitives resample a series of any length down to a fixed
+column budget and render partial-block horizontal bars for latency /
+utilization panels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.viz.ascii_plots import sparkline
+
+__all__ = ["resample", "spark", "hbar", "bar_row", "liveness_dots"]
+
+_PARTIAL_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def resample(values: Sequence[float], width: int) -> list[float]:
+    """Reduce *values* to at most *width* points by bucket-averaging.
+
+    Each output point is the mean of the finite samples in its bucket
+    (NaN when a bucket holds none), preserving the overall shape of a
+    long series inside a fixed column budget.
+    """
+    vals = [float(v) for v in values]
+    if width <= 0:
+        return []
+    if len(vals) <= width:
+        return vals
+    out = []
+    for i in range(width):
+        lo = (i * len(vals)) // width
+        hi = max(lo + 1, ((i + 1) * len(vals)) // width)
+        bucket = [v for v in vals[lo:hi] if math.isfinite(v)]
+        out.append(sum(bucket) / len(bucket) if bucket else float("nan"))
+    return out
+
+
+def spark(
+    values: Sequence[float],
+    width: int = 32,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """A sparkline clamped to *width* columns (resampling as needed)."""
+    return sparkline(resample(values, width), lo=lo, hi=hi)
+
+
+def hbar(fraction: float, width: int = 20) -> str:
+    """A horizontal bar filling *fraction* (0..1) of *width* columns,
+    using eighth-block characters for sub-column resolution."""
+    if width <= 0:
+        return ""
+    if not math.isfinite(fraction):
+        return "?" * 1 + " " * (width - 1)
+    fraction = min(max(fraction, 0.0), 1.0)
+    eighths = int(round(fraction * width * 8))
+    full, rem = divmod(eighths, 8)
+    full = min(full, width)
+    bar = "█" * full
+    if rem and full < width:
+        bar += _PARTIAL_BLOCKS[rem]
+    return bar + " " * (width - len(bar))
+
+
+def bar_row(
+    label: str,
+    value: float,
+    scale: float,
+    width: int = 20,
+    label_width: int = 12,
+    value_format: str = "{:>10.4g}",
+) -> str:
+    """One ``label  value |bar|`` row; *scale* pins full-width."""
+    fraction = value / scale if scale > 0 and math.isfinite(value) else float("nan")
+    return (
+        f"{label:<{label_width}} {value_format.format(value)} "
+        f"|{hbar(fraction, width)}|"
+    )
+
+
+def liveness_dots(alive: int, total: int) -> str:
+    """Worker liveness as filled/hollow dots, e.g. ``●●●○``."""
+    alive = max(0, min(alive, total))
+    return "●" * alive + "○" * (total - alive)

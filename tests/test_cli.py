@@ -263,6 +263,62 @@ class TestServeIngest:
             main(["ingest", str(out),
                   "--connect", f"127.0.0.1:{self._free_port()}"])
 
+    def test_top_one_shot(self, tmp_path, capsys):
+        import threading
+        import time
+
+        out = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--topology", "tandem", "--tasks", "120",
+            "--arrival-rate", "4", "--service-rate", "8",
+            "--servers", "1", "2", "--seed", "3", "--out", str(out),
+        ])
+        capsys.readouterr()
+        port = self._free_port()
+        codes = {}
+
+        def serve():
+            codes["serve"] = main([
+                "serve", "--queues", "3", "--window", "12",
+                "--port", str(port), "--authkey", "test-key",
+                "--iterations", "6", "--seed", "0",
+            ])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        codes["ingest"] = main([
+            "ingest", str(out), "--connect", f"127.0.0.1:{port}",
+            "--authkey", "test-key", "--observe", "0.3", "--wait",
+        ])
+        capsys.readouterr()
+        codes["top"] = main([
+            "top", "--connect", f"127.0.0.1:{port}",
+            "--authkey", "test-key", "--once",
+        ])
+        frame = capsys.readouterr().out
+        assert codes["top"] == 0
+        assert "repro top" in frame
+        assert "arrival λ" in frame
+        assert "phase latency" in frame
+        assert "ingest  admitted" in frame
+        # Shut the server down so the serve thread exits cleanly.
+        from repro.live import LiveClient
+
+        with LiveClient(("127.0.0.1", port), authkey=b"test-key") as client:
+            client.shutdown()
+        thread.join(30.0)
+        assert not thread.is_alive()
+
+    def test_top_validation(self):
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["top", "--connect", "nonsense", "--once"])
+        with pytest.raises(SystemExit, match="--interval"):
+            main(["top", "--interval", "0", "--once"])
+        with pytest.raises(SystemExit, match="cannot connect"):
+            main(["top", "--connect", f"127.0.0.1:{self._free_port()}",
+                  "--once"])
+
 
 class TestArgumentErrors:
     def test_requires_subcommand(self):
